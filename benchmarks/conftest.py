@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (Section 6) and writes its rendered output under
+``benchmarks/out/`` so the regenerated artifacts can be inspected after
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.sources.travel import running_example_query, travel_registry
+from repro.sources.world import build_world
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def world():
+    return build_world()
+
+
+@pytest.fixture()
+def registry(world):
+    return travel_registry(world)
+
+
+@pytest.fixture()
+def travel_query():
+    return running_example_query()
+
+
+def write_artifact(out_dir: pathlib.Path, name: str, content: str) -> None:
+    """Persist a regenerated table/figure as text."""
+    path = out_dir / name
+    path.write_text(content + "\n")

@@ -1,0 +1,173 @@
+"""Ranking-quality ablation: "greedy" vs "square is better" (§4.3.1).
+
+The paper motivates the square heuristic with scenarios "in which
+ranking of search services quickly decreases, and fetching many chunks
+of results only from few, selected services does not pay off".  We
+construct such a scenario: two ranked lists joined under a combined
+score threshold, with asymmetric response times so the greedy
+heuristic piles fetches onto the branch that is free under ETM,
+exploring one ranking deeply and the other barely.  The *composed
+rank* of the produced top answers quantifies the price.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.costs.time_cost import ExecutionTimeMetric
+from repro.execution.cache import CacheSetting
+from repro.execution.engine import ExecutionEngine
+from repro.model.atoms import Atom
+from repro.model.predicates import BinaryExpression, Comparison
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import signature
+from repro.model.terms import Constant, Variable
+from repro.optimizer.fetches import (
+    FetchContext,
+    greedy_assignment,
+    square_assignment,
+)
+from repro.plans.builder import PlanBuilder, parallel_after
+from repro.services.profile import exact_profile, search_profile
+from repro.services.registry import ServiceRegistry
+from repro.services.table import TableExactService, TableSearchService
+
+K = 8
+
+
+def _registry() -> ServiceRegistry:
+    registry = ServiceRegistry()
+    registry.register(
+        TableExactService(
+            signature("seed", ["Key"], ["o"]),
+            exact_profile(erspi=1.0, response_time=0.2),
+            [("k",)],
+        )
+    )
+    # Scores decrease steeply with rank on both sides.
+    a_rows = [("k", f"a{i:02d}", 100 - 4 * i) for i in range(30)]
+    b_rows = [("k", f"b{i:02d}", 100 - 2 * i) for i in range(50)]
+    registry.register(
+        TableSearchService(
+            signature("alist", ["Key", "Item", "S"], ["ioo"]),
+            search_profile(chunk_size=2, response_time=0.5),
+            a_rows,
+            score=lambda row: float(row[2]),
+        )
+    )
+    registry.register(
+        TableSearchService(
+            signature("blist", ["Key", "Thing", "T"], ["ioo"]),
+            search_profile(chunk_size=10, response_time=20.0),
+            b_rows,
+            score=lambda row: float(row[2]),
+        )
+    )
+    return registry
+
+
+def _query() -> ConjunctiveQuery:
+    key, item, thing = Variable("Key"), Variable("Item"), Variable("Thing")
+    s, t = Variable("S"), Variable("T")
+    return ConjunctiveQuery(
+        name="pairs",
+        head=(item, thing, s, t),
+        atoms=(
+            Atom("seed", (key,)),
+            Atom("alist", (key, item, s)),
+            Atom("blist", (key, thing, t)),
+        ),
+        predicates=(
+            Comparison(
+                BinaryExpression("+", s, t), ">=", Constant(150),
+                selectivity=0.05,
+            ),
+        ),
+    )
+
+
+def _patterns(registry):
+    return (
+        registry.signature("seed").pattern("o"),
+        registry.signature("alist").pattern("ioo"),
+        registry.signature("blist").pattern("ioo"),
+    )
+
+
+def _quality(registry, query, fetches) -> tuple[float, int, dict]:
+    plan = PlanBuilder(query, registry).build(
+        _patterns(registry), parallel_after(3, first=0), fetches=fetches
+    )
+    engine = ExecutionEngine(registry, CacheSetting.ONE_CALL)
+    result = engine.execute(plan, head=query.head, k=K)
+    top = result.rows[:K]
+    if not top:
+        return float("inf"), 0, dict(fetches)
+    mean_rank = sum(row.rank_key() for row in top) / len(top)
+    return mean_rank, len(result.rows), dict(fetches)
+
+
+class TestFetchQuality:
+    @pytest.fixture()
+    def setup(self):
+        registry = _registry()
+        query = _query()
+        plan = PlanBuilder(query, registry).build(
+            _patterns(registry), parallel_after(3, first=0)
+        )
+        context = FetchContext(plan, ExecutionTimeMetric(), CacheSetting.ONE_CALL)
+        return registry, query, context
+
+    def test_bench_quality_comparison(self, benchmark, setup, out_dir):
+        registry, query, context = setup
+
+        def compare():
+            greedy = greedy_assignment(context, K)
+            square = square_assignment(context, K)
+            return greedy, square
+
+        greedy, square = benchmark(compare)
+        self._check_and_write(registry, query, greedy, square, out_dir)
+
+    def test_square_balances_and_ranks_better(self, setup, out_dir):
+        registry, query, context = setup
+        greedy = greedy_assignment(context, K)
+        square = square_assignment(context, K)
+        self._check_and_write(registry, query, greedy, square, out_dir)
+
+    @staticmethod
+    def _check_and_write(registry, query, greedy, square, out_dir):
+        # Both heuristics must reach k expected answers.
+        assert greedy.feasible and square.feasible
+        # The trade-off the paper describes: greedy spends the least
+        # cost reaching k; square explores both rankings in balanced
+        # prefixes (equal explored tuples up to one chunk), which
+        # over-delivers answers and never ranks worse.
+        assert greedy.cost <= square.cost + 1e-9
+        assert square.output_size >= greedy.output_size - 1e-9
+        square_explored = (square.fetches[1] * 2, square.fetches[2] * 10)
+        assert abs(square_explored[0] - square_explored[1]) <= 10  # max chunk
+        greedy_explored = (greedy.fetches[1] * 2, greedy.fetches[2] * 10)
+
+        greedy_rank, greedy_n, _ = _quality(registry, query, greedy.fetches)
+        square_rank, square_n, _ = _quality(registry, query, square.fetches)
+        assert square_rank <= greedy_rank + 1e-9  # never worse
+        assert square_n >= greedy_n
+
+        lines = [
+            f"Fetch-quality ablation (k={K}, combined-score join)",
+            "",
+            f"{'heuristic':<8} {'fetches':<16} {'explored':<12} {'cost':>7} "
+            f"{'answers':>8} {'mean top rank':>14}",
+            f"{'greedy':<8} {str(greedy.fetches):<16} "
+            f"{str(greedy_explored):<12} {greedy.cost:>7.1f} "
+            f"{greedy_n:>8} {greedy_rank:>14.2f}",
+            f"{'square':<8} {str(square.fetches):<16} "
+            f"{str(square_explored):<12} {square.cost:>7.1f} "
+            f"{square_n:>8} {square_rank:>14.2f}",
+            "",
+            "Greedy reaches k at minimal cost; square equalizes the",
+            "explored prefixes of the two rankings (the paper's advice",
+            "when rankings decay quickly), over-delivering answers at",
+            "equal-or-better composed rank for a higher cost.",
+        ]
+        write_artifact(out_dir, "ablation_fetch_quality.txt", "\n".join(lines))

@@ -1,0 +1,57 @@
+"""Progressive execution: the "ask for more" interaction (Section 2.2).
+
+"A user can either be satisfied with the first k answers, or ask for
+more results of the same query ..."
+
+The progressive executor starts with one fetch per chunked service and
+grows the fetching factors across rounds; a shared optimal cache makes
+continuations pay only for the *new* fetches.
+
+Run with::
+
+    python examples/ask_for_more.py
+"""
+
+from repro.execution.progressive import ProgressiveExecutor
+from repro.plans.builder import PlanBuilder
+from repro.sources.travel import (
+    FLIGHT_ATOM,
+    HOTEL_ATOM,
+    alpha1_patterns,
+    poset_optimal,
+    running_example_query,
+    travel_registry,
+)
+
+
+def main() -> None:
+    registry = travel_registry()
+    query = running_example_query()
+    plan = PlanBuilder(query, registry).build(
+        alpha1_patterns(), poset_optimal(),
+        fetches={FLIGHT_ATOM: 1, HOTEL_ATOM: 1},
+    )
+    executor = ProgressiveExecutor(
+        registry=registry, plan=plan, head=tuple(query.head)
+    )
+
+    result = executor.run(k=5)
+    print(f"First batch: {len(result.rows)} answers "
+          f"(fetches {executor.fetch_vector()})")
+    print(result.table.render(5))
+
+    result = executor.more(20)
+    print(f"\nAfter asking for more: {len(result.rows)} answers "
+          f"(fetches {executor.fetch_vector()})")
+    print(f"cache hits on continuation: {result.stats.total_cache_hits}")
+
+    print("\nRound history:")
+    for index, round_info in enumerate(executor.rounds, start=1):
+        print(
+            f"  round {index}: fetches={round_info.fetches} "
+            f"answers={round_info.answers} elapsed={round_info.elapsed:.1f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

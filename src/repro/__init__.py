@@ -1,0 +1,135 @@
+"""repro — Optimization of Multi-Domain Queries on the Web (VLDB 2008).
+
+A full reimplementation of the framework of Braga, Ceri, Daniel, and
+Martinenghi: conjunctive queries over exact and search Web services
+with access limitations, DAG query plans with rank-preserving joins,
+several cost metrics, a three-phase branch-and-bound optimizer, and a
+caching, parallel execution engine — plus the calibrated simulated
+deep-Web sources used to reproduce the paper's experiments.
+
+Quickstart::
+
+    from repro import (
+        CacheSetting, ExecutionEngine, ExecutionTimeMetric, Optimizer,
+        OptimizerConfig, travel_registry, running_example_query,
+    )
+
+    registry = travel_registry()
+    query = running_example_query()
+    optimizer = Optimizer(registry, ExecutionTimeMetric(),
+                          OptimizerConfig(k=10))
+    best = optimizer.optimize(query)
+    engine = ExecutionEngine(registry, CacheSetting.ONE_CALL)
+    result = engine.execute(best.plan, head=query.head, k=10)
+    print(result.table.render(10))
+"""
+
+from repro.costs import (
+    BottleneckMetric,
+    CostMetric,
+    ExecutionTimeMetric,
+    MonetaryCostMetric,
+    RequestResponseMetric,
+    SumCostMetric,
+    TimeToScreenMetric,
+)
+from repro.execution import (
+    CacheSetting,
+    ExecutionEngine,
+    ExecutionMode,
+    ExecutionResult,
+    execute_plan,
+)
+from repro.model import (
+    AccessPattern,
+    Atom,
+    Comparison,
+    ConjunctiveQuery,
+    Constant,
+    Schema,
+    ServiceSignature,
+    Variable,
+    atom,
+    comparison,
+    parse_query,
+    query,
+    schema_of,
+    signature,
+)
+from repro.optimizer import (
+    OptimizedPlan,
+    Optimizer,
+    OptimizerConfig,
+    optimize_query,
+)
+from repro.plans import (
+    PlanBuilder,
+    Poset,
+    QueryPlan,
+    annotate,
+    render_ascii,
+    render_dot,
+)
+from repro.services import (
+    JoinMethod,
+    ServiceKind,
+    ServiceProfile,
+    ServiceRegistry,
+    TableExactService,
+    TableSearchService,
+    exact_profile,
+    search_profile,
+)
+from repro.sources import running_example_query, travel_registry, travel_schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPattern",
+    "Atom",
+    "BottleneckMetric",
+    "CacheSetting",
+    "Comparison",
+    "ConjunctiveQuery",
+    "Constant",
+    "CostMetric",
+    "ExecutionEngine",
+    "ExecutionMode",
+    "ExecutionResult",
+    "ExecutionTimeMetric",
+    "JoinMethod",
+    "MonetaryCostMetric",
+    "OptimizedPlan",
+    "Optimizer",
+    "OptimizerConfig",
+    "PlanBuilder",
+    "Poset",
+    "QueryPlan",
+    "RequestResponseMetric",
+    "Schema",
+    "ServiceKind",
+    "ServiceProfile",
+    "ServiceRegistry",
+    "ServiceSignature",
+    "SumCostMetric",
+    "TableExactService",
+    "TableSearchService",
+    "TimeToScreenMetric",
+    "Variable",
+    "annotate",
+    "atom",
+    "comparison",
+    "exact_profile",
+    "execute_plan",
+    "optimize_query",
+    "parse_query",
+    "query",
+    "render_ascii",
+    "render_dot",
+    "running_example_query",
+    "schema_of",
+    "search_profile",
+    "signature",
+    "travel_registry",
+    "travel_schema",
+]

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``reproduce``
+    Regenerate every table and figure of the paper (Section 6) and
+    print them next to the published values.
+
+``demo [travel|bio|biblio|weekend]``
+    Optimize and execute the showcase query of a built-in domain.
+
+``optimize --domain NAME "q(X) :- ..."``
+    Optimize (and optionally execute) an ad-hoc datalog query against a
+    built-in domain's services.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.costs.sum_cost import RequestResponseMetric
+from repro.costs.time_cost import ExecutionTimeMetric
+from repro.execution.cache import CacheSetting
+from repro.execution.engine import ExecutionEngine
+from repro.model.parser import parse_query
+from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.plans.render import render_ascii
+
+_DOMAINS = {
+    "travel": (
+        "repro.sources.travel", "travel_registry", "running_example_query"
+    ),
+    "bio": ("repro.sources.bio", "bio_registry", "glycolysis_homolog_query"),
+    "biblio": ("repro.sources.biblio", "biblio_registry", "experts_query"),
+    "weekend": (
+        "repro.sources.weekend", "weekend_registry", "mahler_weekend_query"
+    ),
+}
+
+_METRICS = {
+    "time": ExecutionTimeMetric,
+    "requests": RequestResponseMetric,
+}
+
+
+def _load_domain(name: str):
+    import importlib
+
+    module_name, registry_fn, query_fn = _DOMAINS[name]
+    module = importlib.import_module(module_name)
+    return getattr(module, registry_fn)(), getattr(module, query_fn)()
+
+
+def _optimize_and_run(registry, query, metric_name: str, k: int,
+                      execute: bool) -> int:
+    metric = _METRICS[metric_name]()
+    optimizer = Optimizer(
+        registry, metric,
+        OptimizerConfig(k=k, cache_setting=CacheSetting.ONE_CALL),
+    )
+    best = optimizer.optimize(query)
+    print(f"Query: {query}\n")
+    print(f"Optimal plan under {metric.name} (cost {best.cost:.1f}):")
+    print(render_ascii(best.plan, best.annotation))
+    print(f"Search: {best.stats.summary()}")
+    if execute:
+        engine = ExecutionEngine(registry, cache_setting=CacheSetting.ONE_CALL)
+        result = engine.execute(best.plan, head=query.head, k=k)
+        print(f"\nTop {k} answers:")
+        print(result.table.render(k))
+        print(f"\n{result.stats.summary()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-domain Web query optimizer (VLDB 2008 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("reproduce", help="regenerate every table/figure")
+
+    demo = sub.add_parser("demo", help="run a built-in domain's showcase query")
+    demo.add_argument("domain", choices=sorted(_DOMAINS), nargs="?",
+                      default="travel")
+    demo.add_argument("--metric", choices=sorted(_METRICS), default="time")
+    demo.add_argument("-k", type=int, default=10, help="answers wanted")
+    demo.add_argument("--no-execute", action="store_true",
+                      help="optimize only, skip execution")
+
+    opt = sub.add_parser("optimize", help="optimize an ad-hoc datalog query")
+    opt.add_argument("query", help="datalog text, e.g. \"q(X) :- s('a', X).\"")
+    opt.add_argument("--domain", choices=sorted(_DOMAINS), default="travel")
+    opt.add_argument("--metric", choices=sorted(_METRICS), default="time")
+    opt.add_argument("-k", type=int, default=10)
+    opt.add_argument("--no-execute", action="store_true")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "reproduce":
+        from repro.experiments import run_figure8, run_figure11, run_table1
+        from repro.services.profiler import format_profile_table
+
+        print("Table 1:")
+        print(format_profile_table(run_table1()))
+        print("\nFigure 8:")
+        figure8 = run_figure8()
+        print(figure8.render())
+        print(f"fetching factors: {figure8.fetches}")
+        print("\nFigure 11:")
+        grid = run_figure11()
+        print(grid.render())
+        print(f"\ncalls match paper: {grid.all_calls_match_paper}")
+        return 0
+
+    if args.command == "demo":
+        registry, query = _load_domain(args.domain)
+        return _optimize_and_run(
+            registry, query, args.metric, args.k, not args.no_execute
+        )
+
+    if args.command == "optimize":
+        registry, _ = _load_domain(args.domain)
+        query = parse_query(args.query)
+        return _optimize_and_run(
+            registry, query, args.metric, args.k, not args.no_execute
+        )
+
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

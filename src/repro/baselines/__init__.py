@@ -1,0 +1,17 @@
+"""Baselines: exhaustive oracle and the WSMS predecessor ([16])."""
+
+from repro.baselines.exhaustive import exhaustive_optimize
+from repro.baselines.wsms import (
+    WsmsPlan,
+    greedy_selectivity_order,
+    wsms_optimize,
+    wsms_poset,
+)
+
+__all__ = [
+    "WsmsPlan",
+    "exhaustive_optimize",
+    "greedy_selectivity_order",
+    "wsms_optimize",
+    "wsms_poset",
+]

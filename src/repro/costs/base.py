@@ -1,0 +1,41 @@
+"""Cost metric interface (Section 2.3).
+
+A cost metric is a function associating a cost to each (annotated)
+query plan.  All metrics considered in the paper are *monotonic* with
+respect to the way DAGs are constructed: evaluating a metric on a
+partially constructed plan yields a lower bound for every completion,
+which is what makes branch-and-bound sound (Section 2.4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.plans.annotate import PlanAnnotation
+from repro.plans.dag import QueryPlan
+
+
+class CostMetric(ABC):
+    """Assigns a nonnegative cost to an annotated plan."""
+
+    #: Short identifier used in reports and benchmarks.
+    name: str = "abstract"
+
+    @abstractmethod
+    def cost(self, plan: QueryPlan, annotation: PlanAnnotation) -> float:
+        """The cost of a fully constructed, annotated plan."""
+
+    def lower_bound(self, plan: QueryPlan, annotation: PlanAnnotation) -> float:
+        """A lower bound for any completion of a partial plan.
+
+        Because all considered metrics are monotonic in plan
+        construction (nodes are only appended after the ones already
+        placed, so existing estimates never change), the cost of the
+        partial plan itself — with all fetching factors at their
+        minimum of 1 — is a valid lower bound.  Subclasses may tighten
+        this.
+        """
+        return self.cost(plan, annotation)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,99 @@
+"""Time-based cost metrics (Section 2.3 and Eq. 4 in Section 5.3).
+
+The *execution time metric* accounts for the slowest path flowing
+tuples from the user input to the output::
+
+    ETM(G) = max over paths P of [ max over n in P (F_n · t_in(n) · τ_n)
+                                   + sum over m in P, m != bottleneck, of τ_m ]
+
+The first term is the *bottleneck* of the path (the node where the
+product of invocations/fetches and time-per-invocation is maximal);
+the remainder is the time needed to fill the pipe up to the bottleneck
+and empty it afterwards (one invocation per other node).
+
+The *bottleneck metric* of Srivastava et al. [16] keeps only the first
+term; it suits pipelined execution of continuous queries.  The
+*time-to-screen* metric measures the time to present the first output
+tuple: one invocation per node along the slowest root-to-output path.
+"""
+
+from __future__ import annotations
+
+from repro.costs.base import CostMetric
+from repro.plans.annotate import PlanAnnotation
+from repro.plans.dag import QueryPlan
+from repro.plans.nodes import JoinNode, PlanNode, ServiceNode
+
+
+def _tau(node: PlanNode) -> float:
+    """Per-invocation response time of a node (0 for IN/OUT)."""
+    if isinstance(node, ServiceNode):
+        assert node.profile is not None
+        return node.profile.response_time
+    if isinstance(node, JoinNode):
+        return node.response_time
+    return 0.0
+
+
+def _work(node: PlanNode, annotation: PlanAnnotation) -> float:
+    """Total busy time of a node: F · t_in · τ."""
+    if isinstance(node, ServiceNode):
+        return node.fetches * annotation.calls(node) * _tau(node)
+    if isinstance(node, JoinNode):
+        return node.response_time
+    return 0.0
+
+
+class ExecutionTimeMetric(CostMetric):
+    """Eq. 4: slowest path with bottleneck plus pipe fill/drain."""
+
+    name = "execution-time"
+
+    def cost(self, plan: QueryPlan, annotation: PlanAnnotation) -> float:
+        worst = 0.0
+        for path in plan.paths():
+            works = [_work(node, annotation) for node in path]
+            if not works:
+                continue
+            bottleneck_index = max(range(len(works)), key=works.__getitem__)
+            others = sum(
+                _tau(node)
+                for index, node in enumerate(path)
+                if index != bottleneck_index
+            )
+            worst = max(worst, works[bottleneck_index] + others)
+        return worst
+
+
+class BottleneckMetric(CostMetric):
+    """Execution time of the slowest service in the plan ([16]).
+
+    Fully studied by Srivastava et al. for pipelined continuous
+    queries; the paper argues it is not advised for search services,
+    which rarely produce all their tuples.
+    """
+
+    name = "bottleneck"
+
+    def cost(self, plan: QueryPlan, annotation: PlanAnnotation) -> float:
+        return max(
+            (_work(node, annotation) for node in plan.nodes),
+            default=0.0,
+        )
+
+
+class TimeToScreenMetric(CostMetric):
+    """Time to the first output tuple: fill the pipe once.
+
+    Every node on the slowest input → output path must answer once
+    before the first tuple can reach the user.
+    """
+
+    name = "time-to-screen"
+
+    def cost(self, plan: QueryPlan, annotation: PlanAnnotation) -> float:
+        del annotation
+        worst = 0.0
+        for path in plan.paths():
+            worst = max(worst, sum(_tau(node) for node in path))
+        return worst

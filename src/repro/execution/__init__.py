@@ -1,0 +1,53 @@
+"""Execution engine: caches, rank-aware joins, dataflow, statistics."""
+
+from repro.execution.cache import (
+    CacheSetting,
+    LogicalCache,
+    NoCache,
+    OneCallCache,
+    OptimalCache,
+    make_cache,
+)
+from repro.execution.engine import (
+    ExecutionEngine,
+    ExecutionError,
+    ExecutionMode,
+    ExecutionResult,
+    execute_plan,
+)
+from repro.execution.joins import (
+    execute_join,
+    is_order_rank_consistent,
+    join_order,
+    merge_scan_order,
+    nested_loop_order,
+)
+from repro.execution.progressive import ProgressiveExecutor, ProgressiveRound
+from repro.execution.results import ResultTable, Row, compose_ranking
+from repro.execution.stats import ExecutionStats, ServiceCallStats
+
+__all__ = [
+    "CacheSetting",
+    "ExecutionEngine",
+    "ExecutionError",
+    "ExecutionMode",
+    "ExecutionResult",
+    "ExecutionStats",
+    "LogicalCache",
+    "NoCache",
+    "OneCallCache",
+    "OptimalCache",
+    "ProgressiveExecutor",
+    "ProgressiveRound",
+    "ResultTable",
+    "Row",
+    "ServiceCallStats",
+    "compose_ranking",
+    "execute_join",
+    "execute_plan",
+    "is_order_rank_consistent",
+    "join_order",
+    "make_cache",
+    "merge_scan_order",
+    "nested_loop_order",
+]

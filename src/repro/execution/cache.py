@@ -1,0 +1,128 @@
+"""Logical caching of service calls (Section 5.1).
+
+Three settings are modeled:
+
+* **no cache** — every call is repeated;
+* **one-call cache** — the engine remembers the *last* call to each
+  service (its input parameter setting and the pages fetched for it),
+  which suffices to avoid re-issuing an immediate "second call" with
+  exactly the same input parameters: blocks of uniform tuples flow
+  contiguously through the plan, so consecutive duplicates are common;
+* **optimal cache** — the engine remembers parameter settings and
+  results of *all* calls, so each service is invoked once per distinct
+  input combination.
+
+A cached entry is keyed by ``(service, input_key)`` and stores one
+result per fetched page, because a chunked service is re-fetched page
+by page for the same input setting.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import Hashable
+
+
+class CacheSetting(Enum):
+    """The three logical-cache settings of the paper."""
+
+    NO_CACHE = "no-cache"
+    ONE_CALL = "one-call"
+    OPTIMAL = "optimal"
+
+
+#: Identifies an input parameter setting: (pattern code, sorted input items).
+InputKey = Hashable
+
+
+class LogicalCache(ABC):
+    """Per-execution cache of service invocation results."""
+
+    @abstractmethod
+    def lookup(self, service: str, input_key: InputKey, page: int) -> object | None:
+        """Cached result for (service, input setting, page), or None."""
+
+    @abstractmethod
+    def store(
+        self, service: str, input_key: InputKey, page: int, value: object
+    ) -> None:
+        """Record the result of an invocation."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop all cached entries."""
+
+
+class NoCache(LogicalCache):
+    """Every call is repeated: lookups always miss."""
+
+    def lookup(self, service: str, input_key: InputKey, page: int) -> object | None:
+        return None
+
+    def store(
+        self, service: str, input_key: InputKey, page: int, value: object
+    ) -> None:
+        return None
+
+    def clear(self) -> None:
+        return None
+
+
+class OneCallCache(LogicalCache):
+    """Remembers only the most recent input setting per service.
+
+    All pages fetched for that setting stay available until a call with
+    a different setting arrives, which evicts the entry.  This captures
+    consecutive duplicate invocations, which occur frequently because
+    tuples originating from a proliferative service are retrieved (and
+    forwarded) contiguously in blocks.
+    """
+
+    def __init__(self) -> None:
+        self._last_key: dict[str, InputKey] = {}
+        self._pages: dict[str, dict[int, object]] = {}
+
+    def lookup(self, service: str, input_key: InputKey, page: int) -> object | None:
+        if self._last_key.get(service) != input_key:
+            return None
+        return self._pages.get(service, {}).get(page)
+
+    def store(
+        self, service: str, input_key: InputKey, page: int, value: object
+    ) -> None:
+        if self._last_key.get(service) != input_key:
+            self._last_key[service] = input_key
+            self._pages[service] = {}
+        self._pages[service][page] = value
+
+    def clear(self) -> None:
+        self._last_key.clear()
+        self._pages.clear()
+
+
+class OptimalCache(LogicalCache):
+    """Remembers every call: one invocation per distinct input and page."""
+
+    def __init__(self) -> None:
+        self._memo: dict[tuple[str, InputKey, int], object] = {}
+
+    def lookup(self, service: str, input_key: InputKey, page: int) -> object | None:
+        return self._memo.get((service, input_key, page))
+
+    def store(
+        self, service: str, input_key: InputKey, page: int, value: object
+    ) -> None:
+        self._memo[(service, input_key, page)] = value
+
+    def clear(self) -> None:
+        self._memo.clear()
+
+
+def make_cache(setting: CacheSetting) -> LogicalCache:
+    """Instantiate the cache implementation for *setting*."""
+    if setting is CacheSetting.NO_CACHE:
+        return NoCache()
+    if setting is CacheSetting.ONE_CALL:
+        return OneCallCache()
+    return OptimalCache()

@@ -1,0 +1,336 @@
+"""The plan execution engine (Sections 5 and 6).
+
+Executes a query plan as a dataflow computation, from the user's input
+tuple to the composed, ranked answers:
+
+* service nodes invoke their Web service once per incoming tuple
+  (through the logical cache) and fetch up to ``F`` pages for chunked
+  services, stopping early when the service reports no more results;
+* pipe joins are arcs: the destination's inputs are filled from the
+  origin's output bindings;
+* parallel join nodes merge two branches with the rank-preserving
+  nested-loop or merge-scan strategy;
+* the output node applies residual predicates and composes the global
+  ranking.
+
+Time is *virtual*: services report per-fetch latencies and the engine
+aggregates them according to the scheduling mode —
+
+* ``SEQUENTIAL``   — one thread, total time is the sum of all latencies;
+* ``PARALLEL``     — independent branches overlap: the elapsed time is
+  the critical path over the DAG (the paper's engine performs
+  sequential and parallel joins this way);
+* ``MULTITHREADED`` — additionally, all calls of a node are dispatched
+  to parallel threads: the node's busy time collapses to its largest
+  single latency plus a per-thread overhead.  Parallel dispatch
+  randomizes the arrival order, which degrades the one-call cache
+  (the paper measures 284 → 212 hotel calls in this setting);
+  we reproduce this by shuffling each node's input block order with a
+  seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping, Sequence
+
+from repro.execution.cache import CacheSetting, LogicalCache, make_cache
+from repro.execution.joins import execute_join
+from repro.execution.results import ResultTable, Row, compose_ranking
+from repro.execution.stats import ExecutionStats
+from repro.model.terms import Constant, Variable
+from repro.plans.dag import QueryPlan
+from repro.plans.nodes import InputNode, JoinNode, OutputNode, PlanNode, ServiceNode
+from repro.services.registry import ServiceRegistry
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a plan cannot be executed (unbound inputs, etc.)."""
+
+
+class ExecutionMode(Enum):
+    """Scheduling modes of the engine."""
+
+    SEQUENTIAL = "sequential"
+    PARALLEL = "parallel"
+    MULTITHREADED = "multithreaded"
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Everything produced by one plan execution.
+
+    ``node_output_sizes`` traces the dataflow: the number of tuples
+    each plan node emitted — the executed counterpart of the
+    annotation's ``t_out`` estimates, used by the cost-model
+    validation experiments.
+    """
+
+    table: ResultTable
+    stats: ExecutionStats
+    elapsed: float
+    k: int | None = None
+    node_output_sizes: dict[str, int] = None  # type: ignore[assignment]
+
+    @property
+    def rows(self) -> list[Row]:
+        """All produced answers in composed rank order."""
+        return self.table.rows
+
+    def answers(self, k: int | None = None) -> list[tuple]:
+        """The top-k projected answer tuples."""
+        limit = k if k is not None else self.k
+        return self.table.tuples(limit)
+
+    def output_size_of(self, node: PlanNode) -> int:
+        """Tuples actually emitted by *node* during this execution."""
+        if not self.node_output_sizes:
+            raise KeyError("node sizes were not collected")
+        return self.node_output_sizes[node.node_id]
+
+
+class ExecutionEngine:
+    """Executes query plans against registered services."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        cache_setting: CacheSetting = CacheSetting.NO_CACHE,
+        mode: ExecutionMode = ExecutionMode.PARALLEL,
+        thread_overhead: float = 0.05,
+        shuffle_seed: int = 17,
+    ) -> None:
+        self._registry = registry
+        self._cache_setting = cache_setting
+        self._mode = mode
+        self._thread_overhead = thread_overhead
+        self._shuffle_seed = shuffle_seed
+
+    def execute(
+        self,
+        plan: QueryPlan,
+        head: Sequence[Variable] = (),
+        k: int | None = None,
+        reset_remote_caches: bool = True,
+        shared_cache: LogicalCache | None = None,
+    ) -> ExecutionResult:
+        """Run *plan* and return ranked answers plus statistics.
+
+        ``head`` selects the projected output variables; ``k`` is only
+        advisory (all produced answers are kept; ``answers()`` trims).
+        ``reset_remote_caches`` clears the remote servers' own caches
+        before running, so experiments are independent.
+        ``shared_cache`` lets a caller keep a logical cache alive
+        across executions (progressive "ask for more" continuations).
+        """
+        plan.validate()
+        if reset_remote_caches:
+            self._registry.reset_all()
+        cache = shared_cache if shared_cache is not None else make_cache(
+            self._cache_setting
+        )
+        stats = ExecutionStats()
+        rng = random.Random(self._shuffle_seed)
+
+        outputs: dict[str, list[Row]] = {}
+        busy: dict[str, float] = {}
+        for node in plan.topological_order():
+            if isinstance(node, InputNode):
+                outputs[node.node_id] = [Row(bindings={})]
+                busy[node.node_id] = 0.0
+            elif isinstance(node, ServiceNode):
+                rows, node_busy = self._run_service_node(
+                    plan, node, outputs, cache, stats, rng
+                )
+                outputs[node.node_id] = rows
+                busy[node.node_id] = node_busy
+            elif isinstance(node, JoinNode):
+                rows = self._run_join_node(plan, node, outputs)
+                outputs[node.node_id] = rows
+                busy[node.node_id] = node.response_time
+            elif isinstance(node, OutputNode):
+                rows = self._run_output_node(plan, node, outputs)
+                outputs[node.node_id] = rows
+                busy[node.node_id] = 0.0
+            else:
+                raise ExecutionError(f"unknown node type {type(node).__name__}")
+
+        stats.elapsed = self._elapsed(plan, busy)
+        final_rows = compose_ranking(outputs[plan.output_node.node_id])
+        table = ResultTable(head=tuple(head), rows=final_rows)
+        return ExecutionResult(
+            table=table,
+            stats=stats,
+            elapsed=stats.elapsed,
+            k=k,
+            node_output_sizes={
+                node_id: len(rows) for node_id, rows in outputs.items()
+            },
+        )
+
+    # -- node execution -----------------------------------------------------
+
+    def _run_service_node(
+        self,
+        plan: QueryPlan,
+        node: ServiceNode,
+        outputs: dict[str, list[Row]],
+        cache: LogicalCache,
+        stats: ExecutionStats,
+        rng: random.Random,
+    ) -> tuple[list[Row], float]:
+        assert node.atom is not None and node.pattern is not None
+        predecessors = plan.predecessors(node)
+        if len(predecessors) != 1:
+            raise ExecutionError(
+                f"service node {node.label} must have exactly one predecessor"
+            )
+        feed = list(outputs[predecessors[0].node_id])
+        if self._mode is ExecutionMode.MULTITHREADED:
+            rng.shuffle(feed)
+        service = self._registry.service(node.service_name)
+        service_stats = stats.service(node.service_name)
+        latencies: list[float] = []
+        produced: list[Row] = []
+        for row in feed:
+            inputs = self._input_values(node, row)
+            input_key = (node.pattern.code, tuple(sorted(inputs.items(), key=str)))
+            pages: list = []
+            issued_remote = False
+            for page in range(node.fetches):
+                cached = cache.lookup(node.service_name, input_key, page)
+                if cached is not None:
+                    result = cached
+                else:
+                    result = service.invoke(node.pattern, inputs, page=page)
+                    cache.store(node.service_name, input_key, page, result)
+                    service_stats.record_fetch(result.latency, result.from_remote_cache)
+                    latencies.append(result.latency)
+                    issued_remote = True
+                pages.append(result)
+                if not result.has_more:
+                    break
+            if issued_remote:
+                service_stats.calls += 1
+            else:
+                service_stats.cache_hits += 1
+            for result in pages:
+                ranks = result.ranks or (None,) * len(result.tuples)
+                for values, rank in zip(result.tuples, ranks):
+                    merged = self._bind_outputs(node, row, values)
+                    if merged is None:
+                        continue
+                    if rank is not None:
+                        merged = merged.with_rank(node.node_id, rank)
+                    if all(p.holds(merged.bindings) for p in node.predicates):
+                        produced.append(merged)
+        node_busy = self._node_busy(latencies)
+        return produced, node_busy
+
+    def _input_values(self, node: ServiceNode, row: Row) -> dict[int, object]:
+        assert node.atom is not None and node.pattern is not None
+        inputs: dict[int, object] = {}
+        for position in node.pattern.input_positions:
+            term = node.atom.term_at(position)
+            if isinstance(term, Constant):
+                inputs[position] = term.value
+            else:
+                if term not in row.bindings:
+                    raise ExecutionError(
+                        f"unbound input variable {term} at {node.label}"
+                    )
+                inputs[position] = row.bindings[term]
+        return inputs
+
+    def _bind_outputs(
+        self, node: ServiceNode, row: Row, values: tuple
+    ) -> Row | None:
+        """Extend *row* with a service result tuple; None on mismatch.
+
+        Output positions holding constants act as selections; output
+        variables already bound upstream must agree (equi-join on the
+        pipe), and repeated variables within the atom must unify.
+        """
+        assert node.atom is not None and node.pattern is not None
+        bindings = dict(row.bindings)
+        for position in range(node.atom.arity):
+            term = node.atom.term_at(position)
+            value = values[position]
+            if isinstance(term, Constant):
+                if value != term.value:
+                    return None
+                continue
+            if term in bindings:
+                if bindings[term] != value:
+                    return None
+            else:
+                bindings[term] = value
+        return Row(bindings=bindings, ranks=row.ranks)
+
+    def _run_join_node(
+        self,
+        plan: QueryPlan,
+        node: JoinNode,
+        outputs: dict[str, list[Row]],
+    ) -> list[Row]:
+        predecessors = plan.predecessors(node)
+        if len(predecessors) != 2:
+            raise ExecutionError(f"join {node.label} must have two predecessors")
+        left = outputs[predecessors[0].node_id]
+        right = outputs[predecessors[1].node_id]
+        return execute_join(node.method, left, right, node.predicates)
+
+    def _run_output_node(
+        self,
+        plan: QueryPlan,
+        node: OutputNode,
+        outputs: dict[str, list[Row]],
+    ) -> list[Row]:
+        predecessors = plan.predecessors(node)
+        if len(predecessors) != 1:
+            raise ExecutionError("output node must have exactly one predecessor")
+        rows = outputs[predecessors[0].node_id]
+        return [
+            row
+            for row in rows
+            if all(p.holds(row.bindings) for p in node.residual_predicates)
+        ]
+
+    # -- timing ---------------------------------------------------------------
+
+    def _node_busy(self, latencies: list[float]) -> float:
+        if not latencies:
+            return 0.0
+        if self._mode is ExecutionMode.MULTITHREADED:
+            return max(latencies) + self._thread_overhead * len(latencies)
+        return sum(latencies)
+
+    def _elapsed(self, plan: QueryPlan, busy: Mapping[str, float]) -> float:
+        if self._mode is ExecutionMode.SEQUENTIAL:
+            return sum(busy.values())
+        finish: dict[str, float] = {}
+        for node in plan.topological_order():
+            predecessors = plan.predecessors(node)
+            start = max(
+                (finish[p.node_id] for p in predecessors), default=0.0
+            )
+            finish[node.node_id] = start + busy[node.node_id]
+        return finish[plan.output_node.node_id]
+
+
+def execute_plan(
+    plan: QueryPlan,
+    registry: ServiceRegistry,
+    head: Sequence[Variable] = (),
+    cache_setting: CacheSetting = CacheSetting.NO_CACHE,
+    mode: ExecutionMode = ExecutionMode.PARALLEL,
+    k: int | None = None,
+) -> ExecutionResult:
+    """One-call convenience wrapper around :class:`ExecutionEngine`."""
+    engine = ExecutionEngine(registry, cache_setting=cache_setting, mode=mode)
+    return engine.execute(plan, head=head, k=k)
+
+
+_UNUSED_NODE_TYPE: tuple[type[PlanNode], ...] = (PlanNode,)

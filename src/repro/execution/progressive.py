@@ -1,0 +1,128 @@
+"""Progressive execution: "ask for more" (Section 2.2).
+
+"We also assume that a plan execution can be continued, by producing
+more answers.  A user can either be satisfied with the first k answers,
+or ask for more results of the same query ..."
+
+The :class:`ProgressiveExecutor` runs a plan with its current fetching
+factors and, when the user asks for more than it produced, grows the
+factors of the chunked services (doubling, bounded by decay caps) and
+re-executes.  Rounds share an **optimal logical cache**, so every call
+already issued in an earlier round is answered locally — continuing a
+query only pays for the *new* fetches, exactly as a resumed execution
+would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.execution.cache import CacheSetting, make_cache
+from repro.execution.engine import ExecutionEngine, ExecutionMode, ExecutionResult
+from repro.model.terms import Variable
+from repro.plans.dag import QueryPlan
+from repro.services.registry import ServiceRegistry
+
+
+@dataclass
+class ProgressiveRound:
+    """Bookkeeping for one execution round."""
+
+    fetches: dict[int, int]
+    answers: int
+    new_calls: int
+    elapsed: float
+
+
+@dataclass
+class ProgressiveExecutor:
+    """Re-executes a plan with growing fetch factors until satisfied.
+
+    The logical cache persists across rounds (optimal caching), so a
+    continuation never repeats a call already made.
+    """
+
+    registry: ServiceRegistry
+    plan: QueryPlan
+    head: tuple[Variable, ...] = ()
+    mode: ExecutionMode = ExecutionMode.PARALLEL
+    max_rounds: int = 8
+    rounds: list[ProgressiveRound] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._engine = ExecutionEngine(
+            self.registry, cache_setting=CacheSetting.OPTIMAL, mode=self.mode
+        )
+        # One shared cache across all rounds: continuations are free
+        # where they overlap with what was already fetched.
+        self._shared_cache = make_cache(CacheSetting.OPTIMAL)
+        self._last_result: ExecutionResult | None = None
+
+    def fetch_vector(self) -> dict[int, int]:
+        """Current fetching factors of the chunked nodes."""
+        return {
+            node.atom_index: node.fetches
+            for node in self.plan.chunked_service_nodes
+        }
+
+    def _grow_fetches(self) -> bool:
+        """Double every chunked factor, respecting decay caps.
+
+        Returns False when no factor can grow any further.
+        """
+        grew = False
+        for node in self.plan.chunked_service_nodes:
+            assert node.profile is not None
+            cap = node.profile.max_fetches()
+            target = node.fetches * 2
+            if cap is not None:
+                target = min(target, cap)
+            if target > node.fetches:
+                node.fetches = target
+                grew = True
+        return grew
+
+    def run(self, k: int) -> ExecutionResult:
+        """Produce at least *k* answers, growing fetches as needed.
+
+        Stops early when every factor is capped (k may be unreachable,
+        as the paper notes for services with small decay bounds).
+        """
+        result = self._execute_round()
+        while len(result.rows) < k and len(self.rounds) < self.max_rounds:
+            if not self._grow_fetches():
+                break  # every factor capped by its decay bound
+            previous_answers = len(result.rows)
+            result = self._execute_round()
+            latest = self.rounds[-1]
+            if latest.new_calls == 0 and latest.answers == previous_answers:
+                break  # the services are exhausted: no more data exists
+        self._last_result = result
+        return result
+
+    def more(self, additional: int) -> ExecutionResult:
+        """Continue the query: ask for *additional* more answers."""
+        already = len(self._last_result.rows) if self._last_result else 0
+        return self.run(already + additional)
+
+    def _execute_round(self) -> ExecutionResult:
+        calls_before = self._total_calls()
+        result = self._engine.execute(
+            self.plan,
+            head=self.head,
+            reset_remote_caches=not self.rounds,
+            shared_cache=self._shared_cache,
+        )
+        self.rounds.append(
+            ProgressiveRound(
+                fetches=self.fetch_vector(),
+                answers=len(result.rows),
+                new_calls=result.stats.total_calls,
+                elapsed=result.elapsed,
+            )
+        )
+        del calls_before
+        return result
+
+    def _total_calls(self) -> int:
+        return sum(r.new_calls for r in self.rounds)

@@ -1,0 +1,98 @@
+"""Result rows and ranking composition.
+
+Rows flowing through a plan carry a *binding* of query variables to
+values plus, for every search-service node traversed, the rank index
+(0-based) the contributing tuple had in that service's result list.
+The final answer list is presented in a *composed* global ranking that
+is a good composition of the partial rankings: rows are ordered by the
+sum of their per-service rank indexes (ties broken by arrival order,
+which itself is consistent with the partial orders thanks to the
+rank-aware join strategies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.model.terms import Variable
+
+
+@dataclass(frozen=True)
+class Row:
+    """One tuple of bindings with ranking provenance."""
+
+    bindings: Mapping[Variable, object]
+    ranks: tuple[tuple[str, int], ...] = ()
+
+    def value(self, variable: Variable) -> object:
+        """The value bound to *variable*."""
+        return self.bindings[variable]
+
+    def rank_key(self) -> int:
+        """Aggregated rank: the sum of per-service rank indexes."""
+        return sum(rank for _, rank in self.ranks)
+
+    def with_rank(self, node_id: str, rank: int) -> "Row":
+        """Copy of the row with one more rank annotation."""
+        return Row(bindings=self.bindings, ranks=self.ranks + ((node_id, rank),))
+
+    def merged_with(self, other: "Row") -> "Row | None":
+        """Natural-join merge: None when shared variables disagree."""
+        merged = dict(self.bindings)
+        for variable, value in other.bindings.items():
+            if variable in merged and merged[variable] != value:
+                return None
+            merged[variable] = value
+        return Row(bindings=merged, ranks=self.ranks + other.ranks)
+
+    def project(self, head: Sequence[Variable]) -> tuple:
+        """The output tuple for the query head."""
+        return tuple(self.bindings[v] for v in head)
+
+
+def compose_ranking(rows: Sequence[Row]) -> list[Row]:
+    """Order *rows* by aggregated rank (stable on ties).
+
+    The composed ranking is consistent with each service's partial
+    order: a row that improves in every partial rank cannot be placed
+    after one it dominates.
+    """
+    return sorted(rows, key=Row.rank_key)
+
+
+@dataclass
+class ResultTable:
+    """The final answers of a query execution."""
+
+    head: tuple[Variable, ...]
+    rows: list[Row] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def top(self, k: int) -> list[Row]:
+        """The first *k* answers in composed rank order."""
+        return self.rows[:k]
+
+    def tuples(self, k: int | None = None) -> list[tuple]:
+        """Projected head tuples, optionally truncated to *k*."""
+        rows = self.rows if k is None else self.rows[:k]
+        return [row.project(self.head) for row in rows]
+
+    def render(self, k: int | None = None) -> str:
+        """A simple text table of the answers (Figure 10 analogue)."""
+        names = [v.name for v in self.head]
+        body = [
+            [str(value) for value in row] for row in self.tuples(k)
+        ]
+        widths = [
+            max([len(names[i])] + [len(line[i]) for line in body])
+            for i in range(len(names))
+        ]
+        header = "  ".join(name.ljust(widths[i]) for i, name in enumerate(names))
+        separator = "-" * len(header)
+        lines = [header, separator]
+        for line in body:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Execution statistics: service calls, cache hits, and timings.
+
+These counters regenerate the measurements of Figure 11: the number of
+calls issued to each service under the various plans and cache
+settings, and the total (virtual) execution time.
+
+Terminology: a **call** is one input parameter setting submitted to the
+remote service (what the paper's charts count); a **fetch** is one
+remote page request — a chunked call with fetching factor ``F``
+performs up to ``F`` fetches.  Calls fully absorbed by the logical
+cache are counted as ``cache_hits`` and never reach the remote side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ServiceCallStats:
+    """Counters for one service within one execution."""
+
+    calls: int = 0
+    fetches: int = 0
+    cache_hits: int = 0
+    remote_cache_hits: int = 0
+    busy_time: float = 0.0
+
+    def record_fetch(self, latency: float, from_remote_cache: bool) -> None:
+        """Account one remote page fetch."""
+        self.fetches += 1
+        self.busy_time += latency
+        if from_remote_cache:
+            self.remote_cache_hits += 1
+
+
+@dataclass
+class ExecutionStats:
+    """Per-service counters plus global totals for one execution."""
+
+    per_service: dict[str, ServiceCallStats] = field(default_factory=dict)
+    elapsed: float = 0.0
+
+    def service(self, name: str) -> ServiceCallStats:
+        """The (auto-created) counters for service *name*."""
+        if name not in self.per_service:
+            self.per_service[name] = ServiceCallStats()
+        return self.per_service[name]
+
+    def calls(self, name: str) -> int:
+        """Number of calls issued to service *name*."""
+        return self.service(name).calls
+
+    @property
+    def total_calls(self) -> int:
+        """Calls across all services."""
+        return sum(s.calls for s in self.per_service.values())
+
+    @property
+    def total_fetches(self) -> int:
+        """Remote page fetches across all services."""
+        return sum(s.fetches for s in self.per_service.values())
+
+    @property
+    def total_cache_hits(self) -> int:
+        """Logical-cache hits across all services."""
+        return sum(s.cache_hits for s in self.per_service.values())
+
+    def summary(self) -> str:
+        """Readable multi-line rendering."""
+        lines = [f"elapsed: {self.elapsed:.1f}s  calls: {self.total_calls}"]
+        for name in sorted(self.per_service):
+            stats = self.per_service[name]
+            lines.append(
+                f"  {name:<10} calls={stats.calls:<5} fetches={stats.fetches:<5}"
+                f" cache_hits={stats.cache_hits:<5}"
+                f" remote_hits={stats.remote_cache_hits:<5}"
+                f" busy={stats.busy_time:.1f}s"
+            )
+        return "\n".join(lines)

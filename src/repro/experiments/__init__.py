@@ -1,0 +1,35 @@
+"""Programmatic regeneration of every table and figure of the paper."""
+
+from repro.experiments.figure11 import (
+    PAPER_CALLS,
+    PAPER_TIMES,
+    Figure11Cell,
+    Figure11Result,
+    figure11_plans,
+    run_figure11,
+)
+from repro.experiments.figures import (
+    CostedTopology,
+    Figure8Result,
+    MultithreadingResult,
+    run_figure7,
+    run_figure8,
+    run_multithreading,
+    run_table1,
+)
+
+__all__ = [
+    "CostedTopology",
+    "Figure11Cell",
+    "Figure11Result",
+    "Figure8Result",
+    "MultithreadingResult",
+    "PAPER_CALLS",
+    "PAPER_TIMES",
+    "figure11_plans",
+    "run_figure11",
+    "run_figure7",
+    "run_figure8",
+    "run_multithreading",
+    "run_table1",
+]

@@ -1,0 +1,179 @@
+"""Programmatic regeneration of Figure 11 (the paper's main experiment).
+
+Runs plans S, P, and O under the three logical-cache settings and
+returns a :class:`Figure11Result` holding, per cell, the calls issued
+to each service and the simulated total time, next to the paper's
+published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execution.cache import CacheSetting
+from repro.execution.engine import ExecutionEngine, ExecutionMode, ExecutionResult
+from repro.model.query import ConjunctiveQuery
+from repro.plans.builder import PlanBuilder
+from repro.plans.dag import QueryPlan
+from repro.services.registry import ServiceRegistry
+from repro.sources.travel import (
+    FLIGHT_ATOM,
+    HOTEL_ATOM,
+    alpha1_patterns,
+    poset_optimal,
+    poset_parallel,
+    poset_serial,
+    running_example_query,
+    travel_registry,
+)
+
+PLAN_NAMES = ("S", "P", "O")
+
+#: The paper's call counts: {(setting value, plan): (weather, flight, hotel)}.
+PAPER_CALLS: dict[tuple[str, str], tuple[int, int, int]] = {
+    ("no-cache", "S"): (71, 16, 284),
+    ("no-cache", "P"): (71, 71, 71),
+    ("no-cache", "O"): (71, 16, 16),
+    ("one-call", "S"): (71, 16, 15),
+    ("one-call", "P"): (71, 71, 71),
+    ("one-call", "O"): (71, 16, 16),
+    ("optimal", "S"): (54, 11, 10),
+    ("optimal", "P"): (54, 54, 54),
+    ("optimal", "O"): (54, 11, 11),
+}
+
+#: The paper's total times in seconds.
+PAPER_TIMES: dict[tuple[str, str], int] = {
+    ("no-cache", "S"): 374, ("no-cache", "P"): 596, ("no-cache", "O"): 218,
+    ("one-call", "S"): 266, ("one-call", "P"): 598, ("one-call", "O"): 219,
+    ("optimal", "S"): 176, ("optimal", "P"): 512, ("optimal", "O"): 155,
+}
+
+
+@dataclass(frozen=True)
+class Figure11Cell:
+    """One (cache setting, plan) measurement."""
+
+    setting: str
+    plan: str
+    calls: tuple[int, int, int]  # weather, flight, hotel
+    conf_calls: int
+    elapsed: float
+    answers: int
+
+    @property
+    def paper_calls(self) -> tuple[int, int, int]:
+        return PAPER_CALLS[(self.setting, self.plan)]
+
+    @property
+    def paper_time(self) -> int:
+        return PAPER_TIMES[(self.setting, self.plan)]
+
+    @property
+    def calls_match_paper(self) -> bool:
+        return self.calls == self.paper_calls
+
+
+@dataclass(frozen=True)
+class Figure11Result:
+    """All nine cells of the experiment."""
+
+    cells: dict[tuple[str, str], Figure11Cell]
+
+    def cell(self, setting: str, plan: str) -> Figure11Cell:
+        return self.cells[(setting, plan)]
+
+    @property
+    def all_calls_match_paper(self) -> bool:
+        return all(cell.calls_match_paper for cell in self.cells.values())
+
+    def time_shape_holds(self) -> bool:
+        """O < S < P per setting, caching never slows a plan."""
+        for setting in ("no-cache", "one-call", "optimal"):
+            o = self.cell(setting, "O").elapsed
+            s = self.cell(setting, "S").elapsed
+            p = self.cell(setting, "P").elapsed
+            if not o < s < p:
+                return False
+        for plan in PLAN_NAMES:
+            no = self.cell("no-cache", plan).elapsed
+            one = self.cell("one-call", plan).elapsed
+            optimal = self.cell("optimal", plan).elapsed
+            if not optimal <= one + 1e-9 <= no + 1e-9:
+                return False
+        return True
+
+    def render(self) -> str:
+        """A text table in the shape of Figure 11."""
+        lines = [
+            f"{'setting':<10} {'plan':<5} {'weather':>8} {'flight':>7} "
+            f"{'hotel':>6} {'time[s]':>9}   {'paper calls':<15} {'paper[s]':>8}",
+        ]
+        for setting in ("no-cache", "one-call", "optimal"):
+            for plan in PLAN_NAMES:
+                cell = self.cell(setting, plan)
+                w, f, h = cell.calls
+                lines.append(
+                    f"{setting:<10} {plan:<5} {w:>8} {f:>7} {h:>6} "
+                    f"{cell.elapsed:>9.1f}   {str(cell.paper_calls):<15} "
+                    f"{cell.paper_time:>8}"
+                )
+        return "\n".join(lines)
+
+
+def figure11_plans(
+    registry: ServiceRegistry, query: ConjunctiveQuery
+) -> dict[str, QueryPlan]:
+    """The three plans of the experiment with their fetching factors.
+
+    S is a single path, so Eq. 7 pushes fetches downstream (F_hotel=8);
+    P and O have the parallel flight/hotel pair, so Eq. 6 gives
+    F_flight=3, F_hotel=4 (Figure 8).
+    """
+    builder = PlanBuilder(query, registry)
+    return {
+        "S": builder.build(
+            alpha1_patterns(), poset_serial(),
+            fetches={FLIGHT_ATOM: 1, HOTEL_ATOM: 8},
+        ),
+        "P": builder.build(
+            alpha1_patterns(), poset_parallel(),
+            fetches={FLIGHT_ATOM: 3, HOTEL_ATOM: 4},
+        ),
+        "O": builder.build(
+            alpha1_patterns(), poset_optimal(),
+            fetches={FLIGHT_ATOM: 3, HOTEL_ATOM: 4},
+        ),
+    }
+
+
+def run_figure11(
+    registry: ServiceRegistry | None = None,
+    query: ConjunctiveQuery | None = None,
+    k: int = 10,
+) -> Figure11Result:
+    """Execute the full 3 plans × 3 cache settings grid."""
+    registry = registry or travel_registry()
+    query = query or running_example_query()
+    plans = figure11_plans(registry, query)
+    cells: dict[tuple[str, str], Figure11Cell] = {}
+    for setting in CacheSetting:
+        for name, plan in plans.items():
+            engine = ExecutionEngine(
+                registry, cache_setting=setting, mode=ExecutionMode.PARALLEL
+            )
+            outcome: ExecutionResult = engine.execute(plan, head=query.head, k=k)
+            stats = outcome.stats
+            cells[(setting.value, name)] = Figure11Cell(
+                setting=setting.value,
+                plan=name,
+                calls=(
+                    stats.calls("weather"),
+                    stats.calls("flight"),
+                    stats.calls("hotel"),
+                ),
+                conf_calls=stats.calls("conf"),
+                elapsed=outcome.elapsed,
+                answers=len(outcome.rows),
+            )
+    return Figure11Result(cells=cells)

@@ -1,0 +1,212 @@
+"""Programmatic regeneration of Table 1, Figure 7/8, and the
+multithreading experiment (the non-grid artifacts of Section 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costs.time_cost import ExecutionTimeMetric
+from repro.execution.cache import CacheSetting
+from repro.execution.engine import ExecutionEngine, ExecutionMode
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import AccessPattern
+from repro.optimizer.fetches import (
+    FetchContext,
+    FetchResult,
+    closed_form_pair,
+    exhaustive_assignment,
+)
+from repro.optimizer.topology import TopologyEnumerator
+from repro.plans.annotate import PlanAnnotation, annotate
+from repro.plans.builder import PlanBuilder, Poset
+from repro.plans.dag import QueryPlan
+from repro.plans.render import render_ascii, summarize
+from repro.services.profiler import ProfileEstimate, ServiceProfiler
+from repro.services.registry import ServiceRegistry
+from repro.sources.travel import (
+    FLIGHT_ATOM,
+    HOTEL_ATOM,
+    alpha1_patterns,
+    poset_optimal,
+    poset_serial,
+    running_example_query,
+    travel_registry,
+)
+from repro.sources.world import (
+    DEEP_ROUTE_CITY,
+    OTHER_TOPIC_SIZES,
+    TravelWorld,
+    build_world,
+    city_dates,
+)
+
+
+# -- Table 1 ----------------------------------------------------------------
+
+
+def run_table1(
+    registry: ServiceRegistry | None = None,
+    world: TravelWorld | None = None,
+) -> list[ProfileEstimate]:
+    """Profile the four travel services by sampling, as at registration."""
+    registry = registry or travel_registry()
+    world = world or build_world()
+    registry.reset_all()
+    estimates = []
+    estimates.append(
+        ServiceProfiler(registry.service("conf")).estimate(
+            AccessPattern("ioooo"), [{0: topic} for topic in OTHER_TOPIC_SIZES]
+        )
+    )
+    weather_samples = []
+    for city in world.all_cities[:20]:
+        start, _ = city_dates(city)
+        weather_samples.append({0: city, 2: start})
+    estimates.append(
+        ServiceProfiler(registry.service("weather")).estimate(
+            AccessPattern("ioi"), weather_samples
+        )
+    )
+    flight_samples = []
+    hotel_samples = []
+    for city in list(world.hot_cities[:5]) + [DEEP_ROUTE_CITY]:
+        start, end = city_dates(city)
+        flight_samples.append({0: "Milano", 1: city, 2: start, 3: end})
+        hotel_samples.append({1: city, 2: "luxury", 3: start, 4: end})
+    estimates.append(
+        ServiceProfiler(registry.service("flight")).estimate(
+            AccessPattern("iiiiooo"), flight_samples
+        )
+    )
+    estimates.append(
+        ServiceProfiler(registry.service("hotel")).estimate(
+            AccessPattern("oiiiio"), hotel_samples
+        )
+    )
+    return estimates
+
+
+# -- Figure 7 (plan space of Example 5.1) -----------------------------------
+
+
+@dataclass(frozen=True)
+class CostedTopology:
+    """One of the 19 plans with its best fetch assignment and cost."""
+
+    poset: Poset
+    plan: QueryPlan
+    fetch_result: FetchResult
+
+    @property
+    def cost(self) -> float:
+        return self.fetch_result.cost
+
+    def describe(self) -> str:
+        return (
+            f"cost={self.cost:.1f} h={self.fetch_result.output_size:.2f} "
+            f"{summarize(self.plan)}"
+        )
+
+
+def run_figure7(
+    registry: ServiceRegistry | None = None,
+    query: ConjunctiveQuery | None = None,
+    k: int = 10,
+) -> list[CostedTopology]:
+    """Enumerate and cost every topology for the α1 patterns (ETM)."""
+    registry = registry or travel_registry()
+    query = query or running_example_query()
+    metric = ExecutionTimeMetric()
+    builder = PlanBuilder(query, registry)
+    rows = []
+    for poset in TopologyEnumerator(query, alpha1_patterns()).all_posets():
+        plan = builder.build(alpha1_patterns(), poset)
+        context = FetchContext(plan, metric, CacheSetting.ONE_CALL)
+        rows.append(
+            CostedTopology(
+                poset=poset,
+                plan=plan,
+                fetch_result=exhaustive_assignment(context, k),
+            )
+        )
+    return sorted(rows, key=lambda row: row.cost)
+
+
+# -- Figure 8 (annotated physical plan) --------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """The fully instantiated plan O with its annotation."""
+
+    plan: QueryPlan
+    fetches: dict[int, int]
+    annotation: PlanAnnotation
+
+    def render(self) -> str:
+        return render_ascii(self.plan, self.annotation)
+
+
+def run_figure8(
+    registry: ServiceRegistry | None = None,
+    query: ConjunctiveQuery | None = None,
+    k: int = 10,
+) -> Figure8Result:
+    """Build plan O, fix the fetching factors via Eq. 6, annotate."""
+    registry = registry or travel_registry()
+    query = query or running_example_query()
+    plan = PlanBuilder(query, registry).build(alpha1_patterns(), poset_optimal())
+    context = FetchContext(plan, ExecutionTimeMetric(), CacheSetting.ONE_CALL)
+    fetch_result = closed_form_pair(context, k=k)
+    context.apply(fetch_result.fetches)
+    return Figure8Result(
+        plan=plan,
+        fetches=dict(fetch_result.fetches),
+        annotation=annotate(plan, CacheSetting.ONE_CALL),
+    )
+
+
+# -- Multithreading experiment ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MultithreadingResult:
+    """Plan S with and without per-node thread dispatch."""
+
+    ordered_elapsed: float
+    threaded_elapsed: float
+    ordered_hotel_calls: int
+    threaded_hotel_calls: int
+
+    @property
+    def speedup(self) -> float:
+        return self.ordered_elapsed / self.threaded_elapsed
+
+    @property
+    def cache_degraded(self) -> bool:
+        return self.threaded_hotel_calls > self.ordered_hotel_calls
+
+
+def run_multithreading(
+    registry: ServiceRegistry | None = None,
+    query: ConjunctiveQuery | None = None,
+) -> MultithreadingResult:
+    """Compare ordered vs threaded execution of plan S (one-call cache)."""
+    registry = registry or travel_registry()
+    query = query or running_example_query()
+    plan = PlanBuilder(query, registry).build(
+        alpha1_patterns(), poset_serial(),
+        fetches={FLIGHT_ATOM: 1, HOTEL_ATOM: 8},
+    )
+    ordered = ExecutionEngine(
+        registry, CacheSetting.ONE_CALL, mode=ExecutionMode.PARALLEL
+    ).execute(plan, head=query.head)
+    threaded = ExecutionEngine(
+        registry, CacheSetting.ONE_CALL, mode=ExecutionMode.MULTITHREADED
+    ).execute(plan, head=query.head)
+    return MultithreadingResult(
+        ordered_elapsed=ordered.elapsed,
+        threaded_elapsed=threaded.elapsed,
+        ordered_hotel_calls=ordered.stats.calls("hotel"),
+        threaded_hotel_calls=threaded.stats.calls("hotel"),
+    )

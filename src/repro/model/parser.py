@@ -1,0 +1,237 @@
+"""A small parser for the datalog-like query notation of the paper.
+
+Accepts queries written as in Figure 3::
+
+    q(Conf, City, HPrice) :-
+        flight('Milano', City, Start, End, STime, ETime, FPrice),
+        hotel(Hotel, City, 'luxury', Start, End, HPrice),
+        conf('DB', Conf, Start, End, City),
+        weather(City, Temperature, Start),
+        Temperature >= 28, FPrice + HPrice < 2000.
+
+Conventions:
+
+* identifiers starting with an uppercase letter are variables;
+* quoted strings and numbers are constants;
+* bare lowercase identifiers appearing as arguments are string
+  constants (datalog convention);
+* body items are atoms ``name(arg, ...)`` or comparisons between
+  arithmetic expressions over terms (``+``, ``-``, ``*``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.model.atoms import Atom
+from repro.model.predicates import BinaryExpression, Comparison, Expression
+from repro.model.query import ConjunctiveQuery
+from repro.model.terms import Constant, Term, Variable
+
+
+class ParseError(ValueError):
+    """Raised when the query text does not conform to the grammar."""
+
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r\n]+"),
+    ("IMPLIES", r":-|<-"),
+    ("NUMBER", r"\d+\.\d+|\d+"),
+    ("STRING", r"'(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\""),
+    ("COMPARE", r"==|!=|>=|<=|>|<|="),
+    ("ARITH", r"[+\-*]"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at {position}")
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind=kind, text=match.group(), position=position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[_Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query text")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} at position {token.position}, got {token.text!r}"
+            )
+        return token
+
+    def parse_query(self) -> ConjunctiveQuery:
+        """Parse ``head :- body.`` and build the query object."""
+        name, head_terms = self._parse_atom_shape()
+        head: list[Variable] = []
+        for term in head_terms:
+            if not isinstance(term, Variable):
+                raise ParseError(f"head arguments must be variables, got {term}")
+            head.append(term)
+        self._expect("IMPLIES")
+        atoms: list[Atom] = []
+        predicates: list[Comparison] = []
+        while True:
+            item = self._parse_body_item()
+            if isinstance(item, Atom):
+                atoms.append(item)
+            else:
+                predicates.append(item)
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "COMMA":
+                self._next()
+                continue
+            if token.kind == "DOT":
+                self._next()
+                break
+            raise ParseError(
+                f"expected ',' or '.' at position {token.position}, got {token.text!r}"
+            )
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(
+                f"trailing input at position {trailing.position}: {trailing.text!r}"
+            )
+        return ConjunctiveQuery(
+            name=name,
+            head=tuple(head),
+            atoms=tuple(atoms),
+            predicates=tuple(predicates),
+        )
+
+    def _parse_atom_shape(self) -> tuple[str, tuple[Term, ...]]:
+        name = self._expect("IDENT").text
+        self._expect("LPAREN")
+        terms: list[Term] = []
+        if self._peek() is not None and self._peek().kind != "RPAREN":  # type: ignore[union-attr]
+            terms.append(self._parse_term())
+            while self._peek() is not None and self._peek().kind == "COMMA":  # type: ignore[union-attr]
+                self._next()
+                terms.append(self._parse_term())
+        self._expect("RPAREN")
+        return name, tuple(terms)
+
+    def _parse_body_item(self) -> Atom | Comparison:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of body")
+        if token.kind == "IDENT" and self._lookahead_is_lparen():
+            name, terms = self._parse_atom_shape()
+            return Atom(service=name, terms=terms)
+        return self._parse_comparison()
+
+    def _lookahead_is_lparen(self) -> bool:
+        if self._index + 1 < len(self._tokens):
+            return self._tokens[self._index + 1].kind == "LPAREN"
+        return False
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_expression()
+        op_token = self._expect("COMPARE")
+        op = "==" if op_token.text == "=" else op_token.text
+        right = self._parse_expression()
+        return Comparison(left=left, op=op, right=right)
+
+    def _parse_expression(self) -> Expression:
+        expr = self._parse_primary()
+        while self._peek() is not None and self._peek().kind == "ARITH":  # type: ignore[union-attr]
+            op = self._next().text
+            right = self._parse_primary()
+            expr = BinaryExpression(op=op, left=expr, right=right)
+        return expr
+
+    def _parse_primary(self) -> Expression:
+        token = self._next()
+        if token.kind == "NUMBER":
+            if "." in token.text:
+                return Constant(float(token.text))
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            return Constant(_unquote(token.text))
+        if token.kind == "IDENT":
+            return _term_from_ident(token.text)
+        if token.kind == "LPAREN":
+            expr = self._parse_expression()
+            self._expect("RPAREN")
+            return expr
+        raise ParseError(
+            f"expected a term at position {token.position}, got {token.text!r}"
+        )
+
+    def _parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "NUMBER":
+            if "." in token.text:
+                return Constant(float(token.text))
+            return Constant(int(token.text))
+        if token.kind == "STRING":
+            return Constant(_unquote(token.text))
+        if token.kind == "IDENT":
+            return _term_from_ident(token.text)
+        raise ParseError(
+            f"expected a term at position {token.position}, got {token.text!r}"
+        )
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _term_from_ident(name: str) -> Term:
+    if name[0].isupper() or name[0] == "_":
+        return Variable(name)
+    return Constant(name)
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a datalog-style query string into a :class:`ConjunctiveQuery`.
+
+    >>> q = parse_query("q(X) :- s(X, 'a'), X >= 10.")
+    >>> q.arity
+    1
+    """
+    tokens = _tokenize(text)
+    return _Parser(tokens, text).parse_query()

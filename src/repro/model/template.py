@@ -1,0 +1,142 @@
+"""Query templates (Section 2.2).
+
+"Constant values appearing in a query are either presented by the user
+through a form or set within a query template; optimization is
+performed for each query template under suitable assumptions of domain
+uniformity and independence."
+
+A :class:`QueryTemplate` is a conjunctive query whose constants may be
+*parameters* — named placeholders filled in at submission time.  The
+optimizer's decisions (a :class:`~repro.plans.spec.PlanSpec`) are
+computed once per template and reused across instantiations, which is
+exactly the deployment mode the paper assumes: the same plan answers
+"DB conferences from Milano" and "AI conferences from Roma".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.model.atoms import Atom
+from repro.model.predicates import BinaryExpression, Comparison, Expression
+from repro.model.query import ConjunctiveQuery
+from repro.model.terms import Constant, Term
+
+
+class TemplateError(ValueError):
+    """Raised for missing or unknown template parameters."""
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named placeholder for a constant value.
+
+    Parameters are hashable, so a ``Constant(Parameter("topic"))`` is a
+    legal term; instantiation replaces it with the supplied value.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TemplateError("parameter name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+def parameter(name: str) -> Constant:
+    """A constant term standing for the template parameter *name*."""
+    return Constant(Parameter(name))
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """A query with named parameters in constant positions."""
+
+    query: ConjunctiveQuery
+
+    @property
+    def parameters(self) -> tuple[str, ...]:
+        """Names of all parameters, sorted."""
+        names: set[str] = set()
+        for atom in self.query.atoms:
+            for term in atom.terms:
+                if isinstance(term, Constant) and isinstance(term.value, Parameter):
+                    names.add(term.value.name)
+        for predicate in self.query.predicates:
+            for expr in (predicate.left, predicate.right):
+                names.update(_expression_parameters(expr))
+        return tuple(sorted(names))
+
+    def instantiate(self, values: Mapping[str, object]) -> ConjunctiveQuery:
+        """Fill every parameter with the given value.
+
+        Raises :class:`TemplateError` on missing or unknown names.
+        """
+        expected = set(self.parameters)
+        given = set(values)
+        if expected - given:
+            raise TemplateError(
+                f"missing parameter values: {sorted(expected - given)}"
+            )
+        if given - expected:
+            raise TemplateError(
+                f"unknown parameters supplied: {sorted(given - expected)}"
+            )
+        atoms = tuple(
+            Atom(
+                atom.service,
+                tuple(_substitute_term(term, values) for term in atom.terms),
+            )
+            for atom in self.query.atoms
+        )
+        predicates = tuple(
+            Comparison(
+                left=_substitute_expression(p.left, values),
+                op=p.op,
+                right=_substitute_expression(p.right, values),
+                selectivity=p.selectivity,
+            )
+            for p in self.query.predicates
+        )
+        return ConjunctiveQuery(
+            name=self.query.name,
+            head=self.query.head,
+            atoms=atoms,
+            predicates=predicates,
+        )
+
+    def __str__(self) -> str:
+        return str(self.query)
+
+
+def _expression_parameters(expr: Expression) -> set[str]:
+    if isinstance(expr, Constant) and isinstance(expr.value, Parameter):
+        return {expr.value.name}
+    if isinstance(expr, BinaryExpression):
+        return _expression_parameters(expr.left) | _expression_parameters(
+            expr.right
+        )
+    return set()
+
+
+def _substitute_term(term: Term, values: Mapping[str, object]) -> Term:
+    if isinstance(term, Constant) and isinstance(term.value, Parameter):
+        return Constant(values[term.value.name])
+    return term
+
+
+def _substitute_expression(
+    expr: Expression, values: Mapping[str, object]
+) -> Expression:
+    if isinstance(expr, BinaryExpression):
+        return BinaryExpression(
+            op=expr.op,
+            left=_substitute_expression(expr.left, values),
+            right=_substitute_expression(expr.right, values),
+        )
+    if isinstance(expr, Constant):
+        return _substitute_term(expr, values)  # type: ignore[return-value]
+    return expr

@@ -1,0 +1,75 @@
+"""Branch-and-bound bookkeeping (Section 2.4).
+
+The search space of fully instantiated query plans is explored in
+three nested phases; every phase contributes branching choices, and
+pruning relies on the monotonicity of the cost metrics: the cost of a
+partially constructed DAG lower-bounds the cost of any completion,
+while fully constructing one member of a class gives an upper bound.
+If the lower bound of class A exceeds the upper bound of class B,
+class A is discarded.
+
+This module holds the incumbent (best-so-far) solution and the search
+statistics shared by the optimizer and the exhaustive baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+Payload = TypeVar("Payload")
+
+
+@dataclass
+class SearchStats:
+    """Counters describing one optimization run."""
+
+    pattern_sequences_considered: int = 0
+    pattern_sequences_pruned: int = 0
+    topology_states_explored: int = 0
+    topology_states_pruned: int = 0
+    plans_completed: int = 0
+    fetch_evaluations: int = 0
+    incumbent_updates: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable rendering of the counters."""
+        return (
+            f"patterns={self.pattern_sequences_considered}"
+            f" (pruned {self.pattern_sequences_pruned}),"
+            f" topology states={self.topology_states_explored}"
+            f" (pruned {self.topology_states_pruned}),"
+            f" plans completed={self.plans_completed},"
+            f" incumbent updates={self.incumbent_updates}"
+        )
+
+
+@dataclass
+class Incumbent(Generic[Payload]):
+    """The best complete solution found so far."""
+
+    cost: float = float("inf")
+    payload: Payload | None = None
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def is_set(self) -> bool:
+        """True once at least one complete solution has been found."""
+        return self.payload is not None
+
+    def offer(self, cost: float, payload: Payload) -> bool:
+        """Adopt (cost, payload) if it improves the incumbent."""
+        if cost < self.cost:
+            self.cost = cost
+            self.payload = payload
+            self.history.append(cost)
+            return True
+        return False
+
+    def prunes(self, lower_bound: float) -> bool:
+        """Should a class with this lower bound be discarded?
+
+        Classes whose lower bound already matches the incumbent cannot
+        contain a *strictly* better solution, so they are pruned too.
+        """
+        return self.is_set and lower_bound >= self.cost

@@ -1,0 +1,345 @@
+"""The three-phase branch-and-bound optimizer (Sections 2.4 and 4).
+
+Given a conjunctive query over registered services, find the fully
+instantiated query plan minimizing the expected execution cost for the
+first ``k`` answers under a chosen metric:
+
+* **phase 1** enumerates permissible access-pattern sequences, most
+  cogent first ("bound is better");
+* **phase 2** explores plan topologies (partial orders of atoms),
+  seeding the incumbent with the "selective" and "parallel" heuristic
+  plans, and pruning partial constructions whose cost already exceeds
+  the incumbent (cost metrics are monotonic in plan construction);
+* **phase 3** assigns fetching factors to chunked services via the
+  greedy or square heuristic, optionally refined by dominance-pruned
+  exhaustive exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.costs.base import CostMetric
+from repro.execution.cache import CacheSetting
+from repro.model.predicates import Comparison
+from repro.model.query import ConjunctiveQuery
+from repro.optimizer.branch_and_bound import Incumbent, SearchStats
+from repro.optimizer.fetches import FetchContext, FetchResult, assign_fetches
+from repro.optimizer.patterns import PatternSequence, select_patterns
+from repro.optimizer.topology import TopologyEnumerator, TopologyState, heuristic_posets
+from repro.plans.annotate import PlanAnnotation, annotate
+from repro.plans.builder import PlanBuilder, Poset
+from repro.plans.dag import PlanError, QueryPlan
+from repro.services.registry import ServiceRegistry
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Tuning knobs for one optimization run."""
+
+    k: int = 10
+    cache_setting: CacheSetting = CacheSetting.ONE_CALL
+    fetch_heuristic: str = "greedy"
+    explore_fetches: bool = True
+    most_cogent_only: bool = False
+    prune: bool = True
+    max_topologies_per_sequence: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.fetch_heuristic not in {"greedy", "square"}:
+            raise ValueError(f"unknown fetch heuristic {self.fetch_heuristic!r}")
+
+
+@dataclass(frozen=True)
+class OptimizedPlan:
+    """The outcome of an optimization run."""
+
+    plan: QueryPlan
+    annotation: PlanAnnotation
+    cost: float
+    metric_name: str
+    patterns: PatternSequence
+    poset: Poset
+    fetches: dict[int, int]
+    expected_answers: float
+    stats: SearchStats
+
+    def describe(self) -> str:
+        """Short textual summary of the chosen plan."""
+        from repro.plans.render import summarize
+
+        return (
+            f"cost={self.cost:g} ({self.metric_name}), "
+            f"h={self.expected_answers:g}, plan: {summarize(self.plan)}"
+        )
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """A fully instantiated plan candidate inside the search."""
+
+    plan: QueryPlan
+    annotation: PlanAnnotation
+    patterns: PatternSequence
+    poset: Poset
+    fetch_result: FetchResult
+
+
+class Optimizer:
+    """Three-phase branch-and-bound plan optimizer."""
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        metric: CostMetric,
+        config: OptimizerConfig | None = None,
+    ) -> None:
+        self._registry = registry
+        self._metric = metric
+        self._config = config or OptimizerConfig()
+
+    @property
+    def config(self) -> OptimizerConfig:
+        """The active configuration."""
+        return self._config
+
+    def optimize(self, query: ConjunctiveQuery) -> OptimizedPlan:
+        """Find the best plan for *query* under the configured metric."""
+        config = self._config
+        schema = self._registry.schema()
+        query.validate_against(schema)
+        phase1 = select_patterns(query, schema)
+        if not phase1.permissible:
+            raise PlanError(
+                "no permissible sequence of access patterns: "
+                "the query is not executable"
+            )
+        sequences = phase1.most_cogent if config.most_cogent_only else phase1.ordered
+        stats = SearchStats()
+        incumbent: Incumbent[_Candidate] = Incumbent()
+        # Plans that cannot reach k answers are kept apart: a plan that
+        # stops short does less work and would otherwise always win on
+        # cost.  They are only used when no plan at all reaches k.
+        fallback: Incumbent[_Candidate] = Incumbent()
+        self._fallback = fallback
+        builder = PlanBuilder(query, self._registry)
+
+        for patterns in sequences:
+            stats.pattern_sequences_considered += 1
+            if config.prune and incumbent.is_set:
+                bound = self._pattern_lower_bound(query, patterns)
+                if incumbent.prunes(bound):
+                    stats.pattern_sequences_pruned += 1
+                    continue
+            self._seed_with_heuristics(
+                query, builder, patterns, incumbent, stats
+            )
+            self._search_topologies(
+                query, builder, patterns, incumbent, stats
+            )
+
+        chosen = incumbent if incumbent.is_set else fallback
+        best = chosen.payload
+        if best is None:
+            raise PlanError("optimization failed to produce any executable plan")
+        return OptimizedPlan(
+            plan=best.plan,
+            annotation=best.annotation,
+            cost=chosen.cost,
+            metric_name=self._metric.name,
+            patterns=best.patterns,
+            poset=best.poset,
+            fetches=dict(best.fetch_result.fetches),
+            expected_answers=best.fetch_result.output_size,
+            stats=stats,
+        )
+
+    # -- phase 2/3 machinery ----------------------------------------------
+
+    def _seed_with_heuristics(
+        self,
+        query: ConjunctiveQuery,
+        builder: PlanBuilder,
+        patterns: PatternSequence,
+        incumbent: Incumbent[_Candidate],
+        stats: SearchStats,
+    ) -> None:
+        """Evaluate the selective/parallel heuristic plans first.
+
+        A good first choice is essential for building an effective
+        upper bound (Section 4).
+        """
+        try:
+            heuristics = heuristic_posets(query, patterns, self._registry)
+        except ValueError:
+            return
+        for poset in heuristics.candidates():
+            self._complete_and_offer(
+                query, builder, patterns, poset, incumbent, stats
+            )
+
+    def _search_topologies(
+        self,
+        query: ConjunctiveQuery,
+        builder: PlanBuilder,
+        patterns: PatternSequence,
+        incumbent: Incumbent[_Candidate],
+        stats: SearchStats,
+    ) -> None:
+        enumerator = TopologyEnumerator(query, patterns)
+        visited: set[TopologyState] = set()
+        completed: set[frozenset] = set()
+        stack: list[TopologyState] = [enumerator.initial_state]
+        budget = self._config.max_topologies_per_sequence
+        while stack:
+            state = stack.pop()
+            if state in visited:
+                continue
+            visited.add(state)
+            stats.topology_states_explored += 1
+            if enumerator.is_complete(state):
+                _, closure = state
+                if closure in completed:
+                    continue
+                completed.add(closure)
+                if budget is not None and len(completed) > budget:
+                    return
+                self._complete_and_offer(
+                    query,
+                    builder,
+                    patterns,
+                    enumerator.poset_of(state),
+                    incumbent,
+                    stats,
+                )
+                continue
+            if self._config.prune and incumbent.is_set and state[0]:
+                bound = self._partial_lower_bound(query, patterns, state)
+                if bound is not None and incumbent.prunes(bound):
+                    stats.topology_states_pruned += 1
+                    continue
+            stack.extend(enumerator.extensions(state))
+
+    def _complete_and_offer(
+        self,
+        query: ConjunctiveQuery,
+        builder: PlanBuilder,
+        patterns: PatternSequence,
+        poset: Poset,
+        incumbent: Incumbent[_Candidate],
+        stats: SearchStats,
+    ) -> None:
+        config = self._config
+        try:
+            plan = builder.build(patterns, poset)
+        except PlanError:
+            return
+        context = FetchContext(plan, self._metric, config.cache_setting)
+        fetch_result = assign_fetches(
+            context,
+            config.k,
+            heuristic=config.fetch_heuristic,
+            explore=config.explore_fetches,
+        )
+        stats.fetch_evaluations += 1
+        stats.plans_completed += 1
+        context.apply(fetch_result.fetches)
+        annotation = annotate(plan, config.cache_setting)
+        cost = self._metric.cost(plan, annotation)
+        candidate = _Candidate(
+            plan=plan,
+            annotation=annotation,
+            patterns=patterns,
+            poset=poset,
+            fetch_result=fetch_result,
+        )
+        if not fetch_result.feasible:
+            self._fallback.offer(cost, candidate)
+            return
+        if incumbent.offer(cost, candidate):
+            stats.incumbent_updates += 1
+
+    def _partial_lower_bound(
+        self,
+        query: ConjunctiveQuery,
+        patterns: PatternSequence,
+        state: TopologyState,
+    ) -> float | None:
+        """Cost of the partially constructed plan (fetches at 1).
+
+        New atoms are only ever appended after the placed ones, so the
+        estimates of the placed nodes never change in any completion:
+        the partial cost is a valid lower bound.
+        """
+        placed, closure = state
+        indices = sorted(placed)
+        mapping = {atom: position for position, atom in enumerate(indices)}
+        sub_atoms = tuple(query.atoms[i] for i in indices)
+        sub_variables: set = set()
+        for atom in sub_atoms:
+            sub_variables |= atom.variable_set
+        sub_predicates = tuple(
+            p for p in query.predicates if p.variables <= frozenset(sub_variables)
+        )
+        sub_query = ConjunctiveQuery(
+            name=query.name,
+            head=(),
+            atoms=sub_atoms,
+            predicates=sub_predicates,
+        )
+        sub_patterns = tuple(patterns[i] for i in indices)
+        sub_pairs = frozenset(
+            (mapping[i], mapping[j]) for i, j in closure
+        )
+        sub_poset = Poset(n=len(indices), pairs=sub_pairs)
+        try:
+            plan = PlanBuilder(sub_query, self._registry).build(
+                sub_patterns, sub_poset
+            )
+        except PlanError:
+            return None
+        annotation = annotate(plan, self._config.cache_setting)
+        return self._metric.cost(plan, annotation)
+
+    def _pattern_lower_bound(
+        self, query: ConjunctiveQuery, patterns: PatternSequence
+    ) -> float:
+        """A cheap, optimistic bound for a whole pattern sequence.
+
+        Every service must be invoked at least once; under the most
+        favorable assumptions the plan costs at least the largest
+        single response time (time metrics) or the sum of single-call
+        costs (sum metrics).
+        """
+        profiles = [
+            self._registry.profile(atom.service) for atom in query.atoms
+        ]
+        name = self._metric.name
+        if name in {"execution-time", "bottleneck", "time-to-screen"}:
+            return max((p.response_time for p in profiles), default=0.0)
+        return sum(p.cost_per_call for p in profiles)
+
+
+def optimize_query(
+    query: ConjunctiveQuery,
+    registry: ServiceRegistry,
+    metric: CostMetric,
+    k: int = 10,
+    cache_setting: CacheSetting = CacheSetting.ONE_CALL,
+    **overrides: object,
+) -> OptimizedPlan:
+    """One-call convenience wrapper around :class:`Optimizer`."""
+    config = OptimizerConfig(k=k, cache_setting=cache_setting)
+    if overrides:
+        config = replace(config, **overrides)  # type: ignore[arg-type]
+    return Optimizer(registry, metric, config).optimize(query)
+
+
+def residual_predicates(query: ConjunctiveQuery, plan: QueryPlan) -> tuple[Comparison, ...]:
+    """Predicates evaluated only at the plan output (for diagnostics)."""
+    return plan.output_node.residual_predicates
+
+
+_UNUSED = field  # keep dataclasses import stable for doc tooling

@@ -1,0 +1,275 @@
+"""Annotating plans with expected tuple flows and invocation counts.
+
+Implements Section 3.4 and Section 5.2 of the paper:
+
+* ``tuples_in(n)`` — tuples arriving at node ``n`` (the raw stream);
+* ``tuples_out(n)`` — expected output size: ``t_in · ξ`` for exact
+  services, ``t_in · cs · F`` for chunked services, and
+  ``t_out(l) · t_out(m) · σ`` for a join of ``l`` and ``m`` (Eq. 1 and
+  Section 3.4);
+* ``calls(n)`` — the number of invocations actually required, which
+  depends on the cache setting (Section 5.2).  Without caching it is
+  the raw stream size.  With caching, blocks of uniform tuples need a
+  single call, so Eq. (2) applies::
+
+      t_in(n) = prod over m in N(n) of  ξ_m · t_in(m)  =  prod t_out(m)
+
+  where ``N(n)`` contains, for each input variable ``X`` of ``n``, the
+  node with *minimal* ``t_out`` among the nodes lying on a path from a
+  provider of ``X`` to ``n`` — a selective intermediary bounds the
+  number of distinct values of ``X`` that can reach ``n``.
+
+Selection predicates assigned to a node multiply its output by their
+selectivity (the paper folds selections into the notion of erspi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execution.cache import CacheSetting
+from repro.model.terms import Variable
+from repro.plans.dag import PlanError, QueryPlan
+from repro.plans.nodes import InputNode, JoinNode, OutputNode, PlanNode, ServiceNode
+
+
+@dataclass(frozen=True)
+class NodeEstimate:
+    """Expected tuple traffic at one plan node."""
+
+    tuples_in: float
+    tuples_out: float
+    calls: float
+
+    def __post_init__(self) -> None:
+        if self.tuples_in < 0 or self.tuples_out < 0 or self.calls < 0:
+            raise PlanError("estimates must be non-negative")
+
+
+@dataclass(frozen=True)
+class PlanAnnotation:
+    """Estimates for every node of a plan, plus the overall output size."""
+
+    cache_setting: CacheSetting
+    estimates: dict[str, NodeEstimate]
+    output_size: float
+
+    def of(self, node: PlanNode) -> NodeEstimate:
+        """Estimate for *node*."""
+        return self.estimates[node.node_id]
+
+    def calls(self, node: PlanNode) -> float:
+        """Expected number of invocations of *node*."""
+        return self.estimates[node.node_id].calls
+
+    def tuples_out(self, node: PlanNode) -> float:
+        """Expected output size of *node*."""
+        return self.estimates[node.node_id].tuples_out
+
+    def tuples_in(self, node: PlanNode) -> float:
+        """Expected input size of *node*."""
+        return self.estimates[node.node_id].tuples_in
+
+
+#: Selectivity charged per *output* position that is constrained after
+#: retrieval: a constant in an output field acts as an equality
+#: selection (e.g. ``Category = 'luxury'`` under an all-output
+#: pattern), and an output variable that is already bound upstream is
+#: an implicit equi-join — the execution engine drops mismatching
+#: tuples, so the estimate must charge for them too.  The value is the
+#: classical default equality selectivity.
+EQUALITY_OUTPUT_SELECTIVITY = 0.1
+
+
+def _selectivity_of(
+    node: ServiceNode | JoinNode | OutputNode,
+    bound_upstream: frozenset[Variable] = frozenset(),
+) -> float:
+    predicates = getattr(node, "predicates", None)
+    if predicates is None:
+        predicates = getattr(node, "residual_predicates", ())
+    result = 1.0
+    for predicate in predicates:
+        result *= predicate.estimated_selectivity()
+    if isinstance(node, ServiceNode):
+        assert node.atom is not None and node.pattern is not None
+        for position in node.pattern.output_positions:
+            term = node.atom.term_at(position)
+            if not isinstance(term, Variable) or term in bound_upstream:
+                result *= EQUALITY_OUTPUT_SELECTIVITY
+    return result
+
+
+def _upstream_variables(plan: QueryPlan, node: ServiceNode) -> frozenset[Variable]:
+    """Variables bound by the service nodes strictly preceding *node*."""
+    bound: set[Variable] = set()
+    for ancestor in plan.upstream_service_nodes(node):
+        assert ancestor.atom is not None
+        bound |= ancestor.atom.variable_set
+    return frozenset(bound)
+
+
+def annotate(plan: QueryPlan, cache_setting: CacheSetting) -> PlanAnnotation:
+    """Compute :class:`NodeEstimate` for every node of *plan*."""
+    estimates: dict[str, NodeEstimate] = {}
+    order = plan.topological_order()
+
+    for node in order:
+        if isinstance(node, InputNode):
+            # The user always injects one single input tuple (Sec. 3.4).
+            estimates[node.node_id] = NodeEstimate(
+                tuples_in=1.0, tuples_out=1.0, calls=0.0
+            )
+        elif isinstance(node, ServiceNode):
+            estimates[node.node_id] = _estimate_service(
+                plan, node, estimates, cache_setting
+            )
+        elif isinstance(node, JoinNode):
+            estimates[node.node_id] = _estimate_join(plan, node, estimates)
+        elif isinstance(node, OutputNode):
+            estimates[node.node_id] = _estimate_output(plan, node, estimates)
+        else:
+            raise PlanError(f"unknown node type: {type(node).__name__}")
+
+    output_estimate = estimates[plan.output_node.node_id]
+    return PlanAnnotation(
+        cache_setting=cache_setting,
+        estimates=estimates,
+        output_size=output_estimate.tuples_out,
+    )
+
+
+def _feed_size(plan: QueryPlan, node: PlanNode, estimates: dict[str, NodeEstimate]) -> float:
+    predecessors = plan.predecessors(node)
+    if len(predecessors) != 1:
+        raise PlanError(
+            f"node {node.node_id!r} expected exactly one predecessor, "
+            f"got {len(predecessors)}"
+        )
+    return estimates[predecessors[0].node_id].tuples_out
+
+
+def _estimate_service(
+    plan: QueryPlan,
+    node: ServiceNode,
+    estimates: dict[str, NodeEstimate],
+    cache_setting: CacheSetting,
+) -> NodeEstimate:
+    assert node.profile is not None
+    tuples_in = _feed_size(plan, node, estimates)
+    selectivity = _selectivity_of(node, _upstream_variables(plan, node))
+    if node.profile.is_chunked:
+        per_input = node.profile.chunk_size * node.fetches  # type: ignore[operator]
+        tuples_out = tuples_in * per_input * selectivity
+    else:
+        tuples_out = tuples_in * node.profile.erspi * selectivity
+    if cache_setting is CacheSetting.NO_CACHE:
+        calls = tuples_in
+    else:
+        calls = min(tuples_in, _cached_calls(plan, node, estimates))
+    return NodeEstimate(tuples_in=tuples_in, tuples_out=tuples_out, calls=calls)
+
+
+def _cached_calls(
+    plan: QueryPlan, node: ServiceNode, estimates: dict[str, NodeEstimate]
+) -> float:
+    """Equation (2): product of the minimal contributions per input var.
+
+    For each input variable ``X`` of *node*, the candidate bounding
+    nodes are the providers of ``X`` (upstream service nodes with ``X``
+    among their outputs) and every node lying between a provider and
+    *node*; the minimal ``t_out`` among them bounds the number of
+    distinct bindings of ``X``.  ``N(node)`` is the *set* of chosen
+    minimizers (one per variable, deduplicated), and the estimate is
+    the product of their ``t_out`` values.
+    """
+    input_variables = node.input_variables
+    if not input_variables:
+        # All inputs are constants: a single invocation covers every
+        # block once any cache is present.
+        return 1.0
+    ancestors = plan.ancestors(node)
+    minimizers: set[str] = set()
+    for variable in sorted(input_variables, key=lambda v: v.name):
+        candidates = _bounding_nodes(plan, node, variable, ancestors)
+        if not candidates:
+            # No upstream provider: the variable must be bound by the
+            # atom's own constants or is supplied by the user input.
+            continue
+        best = min(candidates, key=lambda nid: (estimates[nid].tuples_out, nid))
+        minimizers.add(best)
+    if not minimizers:
+        return 1.0
+    calls = 1.0
+    for node_id in minimizers:
+        calls *= estimates[node_id].tuples_out
+    return calls
+
+
+def _bounding_nodes(
+    plan: QueryPlan,
+    node: ServiceNode,
+    variable: Variable,
+    ancestors: frozenset[str],
+) -> set[str]:
+    """Ids of nodes bounding the distinct values of *variable* at *node*."""
+    bounding: set[str] = set()
+    for candidate in plan.nodes:
+        if candidate.node_id not in ancestors:
+            continue
+        if isinstance(candidate, ServiceNode):
+            if variable in candidate.output_variables:
+                # A provider of the variable.
+                bounding.add(candidate.node_id)
+                continue
+        # Intermediaries: nodes strictly between some provider and
+        # *node*.  A node m is such an intermediary iff some provider
+        # is an ancestor of m (and m is an ancestor of node, which we
+        # already know).
+        if isinstance(candidate, (ServiceNode, JoinNode)):
+            candidate_ancestors = plan.ancestors(candidate)
+            for provider in plan.nodes:
+                if (
+                    isinstance(provider, ServiceNode)
+                    and provider.node_id in candidate_ancestors
+                    and variable in provider.output_variables
+                ):
+                    bounding.add(candidate.node_id)
+                    break
+    return bounding
+
+
+def _estimate_join(
+    plan: QueryPlan, node: JoinNode, estimates: dict[str, NodeEstimate]
+) -> NodeEstimate:
+    predecessors = plan.predecessors(node)
+    if len(predecessors) != 2:
+        raise PlanError(f"join {node.node_id!r} must have two predecessors")
+    left, right = predecessors
+    pairs = estimates[left.node_id].tuples_out * estimates[right.node_id].tuples_out
+    tuples_out = pairs * node.selectivity
+    return NodeEstimate(tuples_in=pairs, tuples_out=tuples_out, calls=0.0)
+
+
+def _estimate_output(
+    plan: QueryPlan, node: OutputNode, estimates: dict[str, NodeEstimate]
+) -> NodeEstimate:
+    tuples_in = _feed_size(plan, node, estimates)
+    tuples_out = tuples_in * _selectivity_of(node)
+    return NodeEstimate(tuples_in=tuples_in, tuples_out=tuples_out, calls=0.0)
+
+
+def bulk_erspi(plan: QueryPlan) -> float:
+    """Ξ(G): the product of the erspi of all *bulk* service nodes.
+
+    Used by the closed-form fetch assignment (Eq. 5): the output size
+    of a plan whose chunked contributions can be isolated equals
+    ``Ξ(G) · Π (cs_i · F_i)``.  Join and predicate selectivities are
+    folded in by the caller via the annotation.
+    """
+    result = 1.0
+    for node in plan.service_nodes:
+        assert node.profile is not None
+        if not node.profile.is_chunked:
+            result *= node.profile.erspi * _selectivity_of(node)
+    return result

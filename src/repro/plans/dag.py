@@ -1,0 +1,253 @@
+"""Query plans as directed acyclic graphs (Sections 2.2, 3.3).
+
+A :class:`QueryPlan` has a unique :class:`~repro.plans.nodes.InputNode`
+and a unique :class:`~repro.plans.nodes.OutputNode`; every other node
+is a service invocation or a parallel join.  Arcs indicate precedence
+in the invocation and possibly parameter passing; nodes not connected
+by any directed path are invoked in parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.plans.nodes import InputNode, JoinNode, OutputNode, PlanNode, ServiceNode
+
+
+class PlanError(ValueError):
+    """Raised for malformed plans (cycles, missing IN/OUT, etc.)."""
+
+
+class QueryPlan:
+    """A mutable DAG of plan nodes, built by the plan builder."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, PlanNode] = {}
+        self._succ: dict[str, list[str]] = {}
+        self._pred: dict[str, list[str]] = {}
+        self._input: InputNode | None = None
+        self._output: OutputNode | None = None
+        self._ancestors_memo: dict[str, frozenset[str]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_node(self, node: PlanNode) -> PlanNode:
+        """Insert *node*; returns it for chaining."""
+        if node.node_id in self._nodes:
+            raise PlanError(f"duplicate node id {node.node_id!r}")
+        if isinstance(node, InputNode):
+            if self._input is not None:
+                raise PlanError("plan already has an input node")
+            self._input = node
+        if isinstance(node, OutputNode):
+            if self._output is not None:
+                raise PlanError("plan already has an output node")
+            self._output = node
+        self._nodes[node.node_id] = node
+        self._succ[node.node_id] = []
+        self._pred[node.node_id] = []
+        return node
+
+    def add_arc(self, origin: PlanNode, destination: PlanNode) -> None:
+        """Add the arc origin → destination (checks acyclicity lazily)."""
+        for node in (origin, destination):
+            if node.node_id not in self._nodes:
+                raise PlanError(f"node {node.node_id!r} not in plan")
+        if destination.node_id in self._succ[origin.node_id]:
+            return
+        self._succ[origin.node_id].append(destination.node_id)
+        self._pred[destination.node_id].append(origin.node_id)
+        self._ancestors_memo.clear()
+
+    # -- basic accessors -------------------------------------------------
+
+    @property
+    def input_node(self) -> InputNode:
+        """The unique start node."""
+        if self._input is None:
+            raise PlanError("plan has no input node")
+        return self._input
+
+    @property
+    def output_node(self) -> OutputNode:
+        """The unique end node."""
+        if self._output is None:
+            raise PlanError("plan has no output node")
+        return self._output
+
+    @property
+    def nodes(self) -> tuple[PlanNode, ...]:
+        """All nodes, in insertion order."""
+        return tuple(self._nodes.values())
+
+    def node(self, node_id: str) -> PlanNode:
+        """Node lookup by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise PlanError(f"no node with id {node_id!r}") from None
+
+    @property
+    def service_nodes(self) -> tuple[ServiceNode, ...]:
+        """All service nodes, in insertion order."""
+        return tuple(n for n in self._nodes.values() if isinstance(n, ServiceNode))
+
+    @property
+    def join_nodes(self) -> tuple[JoinNode, ...]:
+        """All parallel-join nodes, in insertion order."""
+        return tuple(n for n in self._nodes.values() if isinstance(n, JoinNode))
+
+    @property
+    def chunked_service_nodes(self) -> tuple[ServiceNode, ...]:
+        """Service nodes whose service pages its results."""
+        return tuple(n for n in self.service_nodes if n.is_chunked)
+
+    def service_node_for_atom(self, atom_index: int) -> ServiceNode:
+        """The service node executing the body atom at *atom_index*."""
+        for node in self.service_nodes:
+            if node.atom_index == atom_index:
+                return node
+        raise PlanError(f"no service node for atom index {atom_index}")
+
+    def successors(self, node: PlanNode) -> tuple[PlanNode, ...]:
+        """Direct successors of *node*."""
+        return tuple(self._nodes[i] for i in self._succ[node.node_id])
+
+    def predecessors(self, node: PlanNode) -> tuple[PlanNode, ...]:
+        """Direct predecessors of *node*."""
+        return tuple(self._nodes[i] for i in self._pred[node.node_id])
+
+    # -- graph algorithms --------------------------------------------------
+
+    def topological_order(self) -> tuple[PlanNode, ...]:
+        """Nodes in a topological order; raises :class:`PlanError` on cycles."""
+        in_degree = {i: len(self._pred[i]) for i in self._nodes}
+        frontier = [i for i, d in in_degree.items() if d == 0]
+        order: list[PlanNode] = []
+        while frontier:
+            current = frontier.pop(0)
+            order.append(self._nodes[current])
+            for nxt in self._succ[current]:
+                in_degree[nxt] -= 1
+                if in_degree[nxt] == 0:
+                    frontier.append(nxt)
+        if len(order) != len(self._nodes):
+            raise PlanError("plan graph contains a cycle")
+        return tuple(order)
+
+    def paths(self) -> tuple[tuple[PlanNode, ...], ...]:
+        """All simple paths from the input node to the output node."""
+        result: list[tuple[PlanNode, ...]] = []
+        stack: list[tuple[str, tuple[str, ...]]] = [
+            (self.input_node.node_id, (self.input_node.node_id,))
+        ]
+        out_id = self.output_node.node_id
+        while stack:
+            current, path = stack.pop()
+            if current == out_id:
+                result.append(tuple(self._nodes[i] for i in path))
+                continue
+            for nxt in self._succ[current]:
+                stack.append((nxt, path + (nxt,)))
+        return tuple(result)
+
+    def ancestors(self, node: PlanNode) -> frozenset[str]:
+        """Ids of all strict ancestors of *node* (memoized)."""
+        cached = self._ancestors_memo.get(node.node_id)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        stack = list(self._pred[node.node_id])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._pred[current])
+        result = frozenset(seen)
+        self._ancestors_memo[node.node_id] = result
+        return result
+
+    def descendants(self, node: PlanNode) -> frozenset[str]:
+        """Ids of all strict descendants of *node*."""
+        seen: set[str] = set()
+        stack = list(self._succ[node.node_id])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._succ[current])
+        return frozenset(seen)
+
+    def upstream_service_nodes(self, node: PlanNode) -> tuple[ServiceNode, ...]:
+        """Service nodes among the strict ancestors of *node*."""
+        ids = self.ancestors(node)
+        return tuple(
+            n for n in self.service_nodes if n.node_id in ids
+        )
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural well-formedness.
+
+        * exactly one input node with no predecessors;
+        * exactly one output node with no successors;
+        * acyclic;
+        * every node lies on some input → output path;
+        * join nodes have exactly two predecessors.
+        """
+        input_node = self.input_node
+        output_node = self.output_node
+        if self._pred[input_node.node_id]:
+            raise PlanError("input node must have no predecessors")
+        if self._succ[output_node.node_id]:
+            raise PlanError("output node must have no successors")
+        self.topological_order()
+        reachable = {input_node.node_id} | set(self.descendants(input_node))
+        coreachable = {output_node.node_id} | set(self.ancestors(output_node))
+        for node_id in self._nodes:
+            if node_id not in reachable:
+                raise PlanError(f"node {node_id!r} unreachable from input")
+            if node_id not in coreachable:
+                raise PlanError(f"node {node_id!r} cannot reach output")
+        for join in self.join_nodes:
+            if len(self._pred[join.node_id]) != 2:
+                raise PlanError(
+                    f"join node {join.node_id!r} must have exactly 2 predecessors"
+                )
+
+    # -- misc ---------------------------------------------------------------
+
+    def arcs(self) -> tuple[tuple[PlanNode, PlanNode], ...]:
+        """All arcs as (origin, destination) node pairs."""
+        result = []
+        for origin_id, destinations in self._succ.items():
+            for destination_id in destinations:
+                result.append((self._nodes[origin_id], self._nodes[destination_id]))
+        return tuple(result)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[PlanNode]:
+        return iter(self._nodes.values())
+
+    def __contains__(self, node: PlanNode) -> bool:
+        return node.node_id in self._nodes
+
+    def describe(self) -> str:
+        """Multi-line description: one ``a -> b`` line per arc."""
+        lines = []
+        for origin, destination in self.arcs():
+            lines.append(f"{origin.label} -> {destination.label}")
+        return "\n".join(lines)
+
+
+def plan_with_nodes(nodes: Iterable[PlanNode]) -> QueryPlan:
+    """Small helper for tests: a plan containing *nodes*, no arcs yet."""
+    plan = QueryPlan()
+    for node in nodes:
+        plan.add_node(node)
+    return plan

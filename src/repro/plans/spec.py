@@ -1,0 +1,104 @@
+"""Serializable plan specifications.
+
+A fully instantiated plan is determined by three decisions — the
+access-pattern sequence, the precedence poset, and the fetching
+factors (Section 2.4).  :class:`PlanSpec` captures exactly these, can
+round-trip through JSON, and rebuilds the executable plan against any
+registry exposing the same services.  This is what a deployment would
+persist for a *query template* whose optimization is done once and
+reused across parameter values (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.model.query import ConjunctiveQuery
+from repro.plans.builder import PlanBuilder, Poset
+from repro.plans.dag import PlanError, QueryPlan
+from repro.services.registry import ServiceRegistry
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """The three optimizer decisions that instantiate a plan."""
+
+    pattern_codes: tuple[str, ...]
+    precedence_pairs: tuple[tuple[int, int], ...]
+    fetches: tuple[tuple[int, int], ...]
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_choices(
+        cls,
+        patterns,
+        poset: Poset,
+        fetches: dict[int, int] | None = None,
+    ) -> "PlanSpec":
+        """Capture a (patterns, poset, fetches) triple."""
+        return cls(
+            pattern_codes=tuple(p.code for p in patterns),
+            precedence_pairs=tuple(sorted(poset.pairs)),
+            fetches=tuple(sorted((fetches or {}).items())),
+        )
+
+    @classmethod
+    def from_optimized(cls, optimized) -> "PlanSpec":
+        """Capture the decisions of an :class:`OptimizedPlan`."""
+        return cls.from_choices(
+            optimized.patterns, optimized.poset, optimized.fetches
+        )
+
+    # -- rebuild ------------------------------------------------------------
+
+    def poset(self) -> Poset:
+        """The precedence relation over atom indices."""
+        return Poset(
+            n=len(self.pattern_codes), pairs=frozenset(self.precedence_pairs)
+        )
+
+    def build(
+        self, query: ConjunctiveQuery, registry: ServiceRegistry
+    ) -> QueryPlan:
+        """Re-instantiate the executable plan for *query*."""
+        if len(self.pattern_codes) != len(query.atoms):
+            raise PlanError(
+                f"spec has {len(self.pattern_codes)} patterns, query has "
+                f"{len(query.atoms)} atoms"
+            )
+        patterns = tuple(
+            registry.signature(atom.service).pattern(code)
+            for atom, code in zip(query.atoms, self.pattern_codes)
+        )
+        return PlanBuilder(query, registry).build(
+            patterns, self.poset(), fetches=dict(self.fetches)
+        )
+
+    # -- JSON round-trip ------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the spec to a JSON string."""
+        return json.dumps(
+            {
+                "patterns": list(self.pattern_codes),
+                "precedence": [list(pair) for pair in self.precedence_pairs],
+                "fetches": {str(k): v for k, v in self.fetches},
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PlanSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        data = json.loads(text)
+        return cls(
+            pattern_codes=tuple(data["patterns"]),
+            precedence_pairs=tuple(
+                (int(a), int(b)) for a, b in data["precedence"]
+            ),
+            fetches=tuple(
+                sorted((int(k), int(v)) for k, v in data["fetches"].items())
+            ),
+        )

@@ -1,0 +1,57 @@
+"""Service substrate: profiles, invocation protocol, registry, profiler."""
+
+from repro.services.base import (
+    InvocationError,
+    InvocationResult,
+    LatencyModel,
+    Service,
+)
+from repro.services.profile import (
+    ProfileError,
+    ServiceKind,
+    ServiceProfile,
+    exact_profile,
+    search_profile,
+)
+from repro.services.profiler import (
+    ProfileEstimate,
+    ServiceProfiler,
+    format_profile_table,
+    profile_services,
+)
+from repro.services.registry import (
+    DEFAULT_JOIN_SELECTIVITY,
+    JoinMethod,
+    RegistryError,
+    ServiceRegistry,
+)
+from repro.services.table import (
+    TableExactService,
+    TableSearchService,
+    exact_service,
+    search_service,
+)
+
+__all__ = [
+    "DEFAULT_JOIN_SELECTIVITY",
+    "InvocationError",
+    "InvocationResult",
+    "JoinMethod",
+    "LatencyModel",
+    "ProfileError",
+    "ProfileEstimate",
+    "RegistryError",
+    "Service",
+    "ServiceKind",
+    "ServiceProfile",
+    "ServiceProfiler",
+    "ServiceRegistry",
+    "TableExactService",
+    "TableSearchService",
+    "exact_profile",
+    "exact_service",
+    "format_profile_table",
+    "profile_services",
+    "search_profile",
+    "search_service",
+]

@@ -1,0 +1,145 @@
+"""Service registration (Section 5): the optimizer's view of the world.
+
+The registry stores, for every known service, its implementation
+object, signature, and profile; for every pair of services, the
+preferred parallel-join method ("for each pair of services, it is
+known which parallel join method should be used"); and estimated
+selectivities for join predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+from repro.model.schema import Schema, SchemaError, ServiceSignature
+from repro.services.base import Service
+from repro.services.profile import ServiceProfile
+
+
+class JoinMethod(Enum):
+    """Parallel join strategies of the paper (Figure 5)."""
+
+    NESTED_LOOP = "NL"
+    MERGE_SCAN = "MS"
+
+
+#: Default selectivity of an equi-join predicate between two services
+#: when no estimate has been registered.  The running example uses 0.01
+#: for the hotel/flight join (Example 5.1).
+DEFAULT_JOIN_SELECTIVITY = 0.01
+
+
+class RegistryError(KeyError):
+    """Raised when a lookup fails."""
+
+
+@dataclass
+class ServiceRegistry:
+    """Holds services, join-method choices, and join selectivities."""
+
+    _services: dict[str, Service] = field(default_factory=dict)
+    _join_methods: dict[frozenset, JoinMethod] = field(default_factory=dict)
+    _join_selectivities: dict[frozenset, float] = field(default_factory=dict)
+    default_join_selectivity: float = DEFAULT_JOIN_SELECTIVITY
+
+    # -- registration --------------------------------------------------
+
+    def register(self, service: Service) -> None:
+        """Register *service*; names must be unique."""
+        if service.name in self._services:
+            raise SchemaError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+
+    def register_join_method(
+        self, service_a: str, service_b: str, method: JoinMethod
+    ) -> None:
+        """Fix the parallel-join method for a pair of services.
+
+        The paper says the NL/MS choice "can be made at service
+        registration time, by analyzing their statistical behavior".
+        """
+        self._join_methods[frozenset({service_a, service_b})] = method
+
+    def register_join_selectivity(
+        self, service_a: str, service_b: str, selectivity: float
+    ) -> None:
+        """Record the estimated selectivity of the equi-join predicate."""
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+        self._join_selectivities[frozenset({service_a, service_b})] = selectivity
+
+    # -- lookups --------------------------------------------------------
+
+    def service(self, name: str) -> Service:
+        """The registered service object named *name*."""
+        try:
+            return self._services[name]
+        except KeyError:
+            raise RegistryError(f"service {name!r} is not registered") from None
+
+    def profile(self, name: str, pattern_code: str | None = None) -> ServiceProfile:
+        """The profile of service *name* (optionally pattern-specific)."""
+        return self.service(name).profile_for(pattern_code)
+
+    def signature(self, name: str) -> ServiceSignature:
+        """The signature of service *name*."""
+        return self.service(name).signature
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def __iter__(self) -> Iterator[Service]:
+        return iter(self._services.values())
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """All registered service names, in registration order."""
+        return tuple(self._services)
+
+    def schema(self) -> Schema:
+        """A :class:`Schema` view over all registered signatures."""
+        schema = Schema()
+        for service in self:
+            schema.add(service.signature)
+        return schema
+
+    def join_method(self, service_a: str, service_b: str) -> JoinMethod:
+        """Preferred parallel-join method for a pair of services.
+
+        If no explicit registration exists, apply the paper's rule of
+        thumb: nested loop when one side is known to produce its top
+        tuples within few fetches (it has a small decay bound or is an
+        exact selective service), merge-scan when there is no a priori
+        distinction — "Since no decay is known for either hotel or
+        flight, merge-scan is used" (Example 5.1).
+        """
+        key = frozenset({service_a, service_b})
+        if key in self._join_methods:
+            return self._join_methods[key]
+        profile_a = self.profile(service_a)
+        profile_b = self.profile(service_b)
+        if self._tops_out_quickly(profile_a) != self._tops_out_quickly(profile_b):
+            return JoinMethod.NESTED_LOOP
+        return JoinMethod.MERGE_SCAN
+
+    def join_selectivity(self, service_a: str, service_b: str) -> float:
+        """Estimated selectivity of the equi-join between two services."""
+        key = frozenset({service_a, service_b})
+        return self._join_selectivities.get(key, self.default_join_selectivity)
+
+    def reset_all(self) -> None:
+        """Reset per-experiment state (remote caches) of every service."""
+        for service in self:
+            service.reset()
+
+    @staticmethod
+    def _tops_out_quickly(profile: ServiceProfile) -> bool:
+        max_fetches = profile.max_fetches()
+        if max_fetches is not None and max_fetches <= 2:
+            return True
+        return profile.is_exact and profile.is_selective

@@ -1,0 +1,154 @@
+"""The bibliographic domain: the "experts" query of the abstract.
+
+"Who are the strongest experts on service computing based upon their
+recent publication record and accepted European projects?"
+
+Services:
+
+* ``pubsearch(Keyword, Paper, Title, Year)`` — a *search* service over
+  a publication index, returning papers by decreasing relevance to the
+  keyword, chunked;
+* ``authors(Paper, Author)`` — exact, proliferative (a few authors per
+  paper);
+* ``projects(Author, Project, Programme)`` — exact: accepted projects
+  per investigator (selective: most authors have none).
+
+The deterministic corpus embeds a planted ground truth (a small group
+of prolific authors with funded projects) so tests can check both the
+plan mechanics and the answers.
+"""
+
+from __future__ import annotations
+
+from repro.model.atoms import Atom
+from repro.model.predicates import Comparison
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import ServiceSignature, signature
+from repro.model.terms import Constant, Variable
+from repro.services.profile import exact_profile, search_profile
+from repro.services.registry import ServiceRegistry
+from repro.services.table import TableExactService, TableSearchService
+
+PUBSEARCH_CHUNK = 10
+PUBSEARCH_TAU = 2.1
+AUTHORS_TAU = 0.9
+PROJECTS_TAU = 1.1
+
+_TOPICS = ("service computing", "data integration", "ranking", "mashups")
+_EXPERTS = ("Rossi", "Bianchi", "Verdi", "Esposito")
+_OTHERS = tuple(f"Author{index:02d}" for index in range(1, 31))
+
+
+def pubsearch_signature() -> ServiceSignature:
+    """pubsearch{iooo}(Keyword, Paper, Title, Year)."""
+    return signature(
+        "pubsearch", ["Keyword", "Paper", "Title", "Year"], ["iooo"]
+    )
+
+
+def authors_signature() -> ServiceSignature:
+    """authors{io,oi}(Paper, Author)."""
+    return signature("authors", ["Paper", "Author"], ["io", "oi"])
+
+
+def projects_signature() -> ServiceSignature:
+    """projects{ioo}(Author, Project, Programme)."""
+    return signature("projects", ["Author", "Project", "Programme"], ["ioo"])
+
+
+def _corpus() -> tuple[list[tuple], list[tuple], list[tuple]]:
+    papers: list[tuple] = []
+    authorships: list[tuple] = []
+    projects: list[tuple] = []
+    paper_counter = 0
+    for topic_index, topic in enumerate(_TOPICS):
+        for rank in range(25):
+            paper_counter += 1
+            paper_id = f"P{paper_counter:04d}"
+            year = 2008 - (rank % 6)
+            relevance = 1000 - rank * 31 - topic_index
+            papers.append((topic, paper_id, f"{topic} study {rank + 1}", year, relevance))
+            # Experts author the top papers of their pet topic.
+            expert = _EXPERTS[(topic_index + rank) % len(_EXPERTS)]
+            if rank < 12:
+                authorships.append((paper_id, expert))
+            authorships.append((paper_id, _OTHERS[(rank * 3 + topic_index) % len(_OTHERS)]))
+            if rank % 2 == 0:
+                authorships.append((paper_id, _OTHERS[(rank * 5 + 7) % len(_OTHERS)]))
+    for index, expert in enumerate(_EXPERTS):
+        projects.append((expert, f"EU-FP7-{index + 101}", "FP7"))
+        if index % 2 == 0:
+            projects.append((expert, f"EU-FP6-{index + 201}", "FP6"))
+    # A couple of non-expert investigators too.
+    projects.append((_OTHERS[0], "EU-FP7-301", "FP7"))
+    return papers, authorships, projects
+
+
+def biblio_registry() -> ServiceRegistry:
+    """Registry with the three bibliographic services."""
+    papers, authorships, project_rows = _corpus()
+    registry = ServiceRegistry()
+    registry.register(
+        TableSearchService(
+            pubsearch_signature(),
+            search_profile(chunk_size=PUBSEARCH_CHUNK, response_time=PUBSEARCH_TAU),
+            [row[:4] for row in papers],
+            # Relevance is the hidden score (stored separately above).
+            score=_relevance_index(papers),
+        )
+    )
+    registry.register(
+        TableExactService(
+            authors_signature(),
+            exact_profile(erspi=2.4, response_time=AUTHORS_TAU),
+            authorships,
+            pattern_profiles={
+                "oi": exact_profile(erspi=8.0, response_time=AUTHORS_TAU)
+            },
+        )
+    )
+    registry.register(
+        TableExactService(
+            projects_signature(),
+            exact_profile(erspi=0.4, response_time=PROJECTS_TAU),
+            project_rows,
+        )
+    )
+    return registry
+
+
+def _relevance_index(papers: list[tuple]):
+    """Score function keyed on (keyword, paper id)."""
+    relevance = {(row[0], row[1]): row[4] for row in papers}
+
+    def score(row: tuple) -> float:
+        return float(relevance.get((row[0], row[1]), 0))
+
+    return score
+
+
+def experts_query(keyword: str = "service computing") -> ConjunctiveQuery:
+    """Experts on *keyword* with recent papers and accepted projects."""
+    paper = Variable("Paper")
+    title = Variable("Title")
+    year = Variable("Year")
+    author = Variable("Author")
+    project = Variable("Project")
+    programme = Variable("Programme")
+    atoms = (
+        Atom("pubsearch", (Constant(keyword), paper, title, year)),
+        Atom("authors", (paper, author)),
+        Atom("projects", (author, project, programme)),
+    )
+    predicates = (Comparison(year, ">=", Constant(2005), selectivity=0.7),)
+    return ConjunctiveQuery(
+        name="experts",
+        head=(author, project, paper, year),
+        atoms=atoms,
+        predicates=predicates,
+    )
+
+
+def planted_experts() -> tuple[str, ...]:
+    """The ground-truth expert names embedded in the corpus."""
+    return _EXPERTS

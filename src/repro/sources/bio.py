@@ -1,0 +1,204 @@
+"""The bioinformatics domain (Section 6, last paragraph).
+
+The paper reports applying the framework to protein repositories "to
+find evolutionary relationships between human and mouse proteins
+including repeated protein domains and involved in the glycolysis
+metabolic pathway", using InterPro, UniProt, BLAST, and KEGG.  We model
+synthetic equivalents with the same interaction structure:
+
+* ``kegg(Pathway, Protein)`` — exact; proteins of a pathway (proliferative)
+  or pathways of a protein (selective);
+* ``uniprot(Protein, Organism, Gene)`` — exact; lookup by protein id or
+  browse by organism;
+* ``blast(Query, Hit, Score)`` — *search* service returning homologs in
+  decreasing alignment score, chunked, **with a decay bound**: beyond
+  the first few dozen hits, scores are biologically meaningless.  The
+  decay makes the registry's default join-method rule pick nested loop
+  when blast output is joined in parallel (Section 3.3);
+* ``interpro(Protein, Domain, Repeats)`` — exact; domain annotations
+  with repeat counts.
+
+The query mirrors the paper's: human glycolysis proteins, their mouse
+homologs by BLAST, restricted to homologs with repeated domains.
+"""
+
+from __future__ import annotations
+
+from repro.model.atoms import Atom
+from repro.model.predicates import Comparison
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import ServiceSignature, signature
+from repro.model.terms import Constant, Variable
+from repro.services.profile import exact_profile, search_profile
+from repro.services.registry import ServiceRegistry
+from repro.services.table import TableExactService, TableSearchService
+
+#: Number of human/mouse proteins in the synthetic proteome.
+PROTEINS_PER_ORGANISM = 60
+
+#: Human proteins participating in glycolysis.
+GLYCOLYSIS_SIZE = 12
+
+BLAST_CHUNK = 10
+BLAST_DECAY = 30
+BLAST_TAU = 12.0
+KEGG_TAU = 1.0
+UNIPROT_TAU = 0.8
+INTERPRO_TAU = 1.4
+
+_DOMAINS = ("kinase", "sh3", "zincfinger", "helicase", "wd40", "ankyrin")
+
+
+def _human(index: int) -> str:
+    return f"HSA{index:03d}"
+
+
+def _mouse(index: int) -> str:
+    return f"MMU{index:03d}"
+
+
+def kegg_signature() -> ServiceSignature:
+    """kegg{io,oi}(Pathway, Protein)."""
+    return signature("kegg", ["Pathway", "Protein"], ["io", "oi"])
+
+
+def uniprot_signature() -> ServiceSignature:
+    """uniprot{ioo,oio}(Protein, Organism, Gene)."""
+    return signature("uniprot", ["Protein", "Organism", "Gene"], ["ioo", "oio"])
+
+
+def blast_signature() -> ServiceSignature:
+    """blast{ioo}(Query, Hit, Score)."""
+    return signature("blast", ["Protein", "Protein", "Score"], ["ioo"])
+
+
+def interpro_signature() -> ServiceSignature:
+    """interpro{ioo}(Protein, Domain, Repeats)."""
+    return signature("interpro", ["Protein", "Domain", "Repeats"], ["ioo"])
+
+
+def _kegg_rows() -> list[tuple]:
+    rows = []
+    for index in range(GLYCOLYSIS_SIZE):
+        rows.append(("glycolysis", _human(index + 1)))
+    # Other pathways, so the pathway-driven pattern is proliferative
+    # but the protein-driven one is selective.
+    for index in range(20):
+        rows.append(("tca-cycle", _human(20 + index % 25 + 1)))
+    for index in range(15):
+        rows.append(("apoptosis", _human(35 + index % 20 + 1)))
+    return rows
+
+
+def _uniprot_rows() -> list[tuple]:
+    rows = []
+    for index in range(1, PROTEINS_PER_ORGANISM + 1):
+        rows.append((_human(index), "human", f"geneH{index:03d}"))
+        rows.append((_mouse(index), "mouse", f"geneM{index:03d}"))
+    return rows
+
+
+def _blast_rows() -> list[tuple]:
+    """Ranked homologs: each human protein hits several mouse proteins.
+
+    The true ortholog (same index) scores highest; neighbours by index
+    score less.  Scores below the decay bound are never served.
+    """
+    rows = []
+    for index in range(1, PROTEINS_PER_ORGANISM + 1):
+        query = _human(index)
+        for offset in range(0, 8):
+            hit_index = (index - 1 + offset) % PROTEINS_PER_ORGANISM + 1
+            score = 980 - offset * 90 - (index % 7)
+            rows.append((query, _mouse(hit_index), score))
+        # Cross-species noise hits with low scores.
+        for offset in range(1, 4):
+            hit_index = (index + offset * 11) % PROTEINS_PER_ORGANISM + 1
+            rows.append((query, _human(hit_index), 300 - offset * 40))
+    return rows
+
+
+def _interpro_rows() -> list[tuple]:
+    rows = []
+    for index in range(1, PROTEINS_PER_ORGANISM + 1):
+        for organism_prefix in (_human, _mouse):
+            protein = organism_prefix(index)
+            domain = _DOMAINS[index % len(_DOMAINS)]
+            repeats = 1 + (index % 4)  # 25% have >= 3 repeats
+            rows.append((protein, domain, repeats))
+            if index % 3 == 0:
+                rows.append((protein, _DOMAINS[(index + 2) % len(_DOMAINS)], 1))
+    return rows
+
+
+def bio_registry() -> ServiceRegistry:
+    """Registry with the four bioinformatics services."""
+    registry = ServiceRegistry()
+    registry.register(
+        TableExactService(
+            kegg_signature(),
+            exact_profile(erspi=12.0, response_time=KEGG_TAU),
+            _kegg_rows(),
+            pattern_profiles={
+                "oi": exact_profile(erspi=1.2, response_time=KEGG_TAU)
+            },
+        )
+    )
+    registry.register(
+        TableExactService(
+            uniprot_signature(),
+            exact_profile(erspi=1.0, response_time=UNIPROT_TAU),
+            _uniprot_rows(),
+            pattern_profiles={
+                "oio": exact_profile(erspi=60.0, response_time=UNIPROT_TAU)
+            },
+        )
+    )
+    registry.register(
+        TableSearchService(
+            blast_signature(),
+            search_profile(
+                chunk_size=BLAST_CHUNK,
+                response_time=BLAST_TAU,
+                decay=BLAST_DECAY,
+            ),
+            _blast_rows(),
+            score=lambda row: float(row[2]),
+        )
+    )
+    registry.register(
+        TableExactService(
+            interpro_signature(),
+            exact_profile(erspi=1.4, response_time=INTERPRO_TAU),
+            _interpro_rows(),
+        )
+    )
+    registry.register_join_selectivity("blast", "interpro", 0.05)
+    return registry
+
+
+def glycolysis_homolog_query() -> ConjunctiveQuery:
+    """Human glycolysis proteins with repeated-domain mouse homologs."""
+    human = Variable("Human")
+    mouse = Variable("Mouse")
+    gene = Variable("Gene")
+    score = Variable("Score")
+    domain = Variable("Domain")
+    repeats = Variable("Repeats")
+    atoms = (
+        Atom("kegg", (Constant("glycolysis"), human)),
+        Atom("uniprot", (human, Constant("human"), gene)),
+        Atom("blast", (human, mouse, score)),
+        Atom("uniprot", (mouse, Constant("mouse"), Variable("MouseGene"))),
+        Atom("interpro", (mouse, domain, repeats)),
+    )
+    predicates = (
+        Comparison(score, ">=", Constant(500), selectivity=0.6),
+        Comparison(repeats, ">=", Constant(2), selectivity=0.5),
+    )
+    return ConjunctiveQuery(
+        name="homologs",
+        head=(human, mouse, domain, score),
+        atoms=atoms,
+        predicates=predicates,
+    )

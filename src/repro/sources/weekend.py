@@ -1,0 +1,132 @@
+"""The weekend-trip domain: the third query of the paper's abstract.
+
+"Can I spend an April weekend in a city served by a low-cost direct
+flight from Milano offering a Mahler's symphony?"
+
+Services:
+
+* ``lowcost(From, To, Date, Price)`` — a *search* service over
+  low-cost fares, cheapest first, chunked;
+* ``concerts(City, Date, Composer, Venue)`` — exact: the programme of
+  the season's concert halls, accessible by city or by composer.
+
+Both the flight-first and the concert-first strategies are executable
+(concerts has a composer-driven pattern), making this a nice small
+playground for the optimizer: which side to drive the query from
+depends on the metric.
+"""
+
+from __future__ import annotations
+
+from repro.model.atoms import Atom
+from repro.model.predicates import Comparison
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import ServiceSignature, signature
+from repro.model.terms import Constant, Variable
+from repro.services.profile import exact_profile, search_profile
+from repro.services.registry import ServiceRegistry
+from repro.services.table import TableExactService, TableSearchService
+
+LOWCOST_CHUNK = 15
+LOWCOST_TAU = 6.5
+CONCERTS_TAU = 1.8
+
+_CITIES = (
+    "Vienna", "Berlin", "Amsterdam", "London", "Paris", "Prague",
+    "Budapest", "Munich", "Hamburg", "Barcelona", "Lisbon", "Dublin",
+)
+_COMPOSERS = ("Mahler", "Beethoven", "Brahms", "Bruckner", "Verdi")
+_APRIL_WEEKENDS = ("2008-04-05", "2008-04-12", "2008-04-19", "2008-04-26")
+
+
+def lowcost_signature() -> ServiceSignature:
+    """lowcost{iioo,iooo}(From, To, Date, Price).
+
+    ``iioo`` queries one route; ``iooo`` browses all destinations from
+    an origin (cheapest fares anywhere first), enabling the
+    flight-first strategy.
+    """
+    return signature(
+        "lowcost", ["City", "City", "Date", "Price"], ["iioo", "iooo"]
+    )
+
+
+def concerts_signature() -> ServiceSignature:
+    """concerts{iooo,ooio}(City, Date, Composer, Venue)."""
+    return signature(
+        "concerts", ["City", "Date", "Composer", "Venue"], ["iooo", "ooio"]
+    )
+
+
+def _lowcost_rows() -> list[tuple]:
+    rows = []
+    for city_index, city in enumerate(_CITIES):
+        for date_index, date in enumerate(_APRIL_WEEKENDS):
+            fares = 2 + (city_index + date_index) % 3
+            for fare in range(fares):
+                price = 19 + (city_index * 13 + date_index * 7 + fare * 23) % 140
+                rows.append(("Milano", city, date, price))
+    return rows
+
+
+def _concert_rows() -> list[tuple]:
+    rows = []
+    for city_index, city in enumerate(_CITIES):
+        for date_index, date in enumerate(_APRIL_WEEKENDS):
+            composer = _COMPOSERS[(city_index + date_index) % len(_COMPOSERS)]
+            venue = f"{city} Philharmonic Hall"
+            rows.append((city, date, composer, venue))
+            if city_index % 3 == 0:
+                rows.append(
+                    (city, date, _COMPOSERS[(city_index + date_index + 2) % len(_COMPOSERS)],
+                     f"{city} Opera House")
+                )
+    return rows
+
+
+def weekend_registry() -> ServiceRegistry:
+    """Registry with the low-cost fare and concert services."""
+    registry = ServiceRegistry()
+    registry.register(
+        TableSearchService(
+            lowcost_signature(),
+            search_profile(chunk_size=LOWCOST_CHUNK, response_time=LOWCOST_TAU),
+            _lowcost_rows(),
+            score=lambda row: -float(row[3]),  # cheapest fares first
+        )
+    )
+    registry.register(
+        TableExactService(
+            concerts_signature(),
+            exact_profile(erspi=1.6, response_time=CONCERTS_TAU),
+            _concert_rows(),
+            pattern_profiles={
+                "ooio": exact_profile(erspi=10.0, response_time=CONCERTS_TAU)
+            },
+        )
+    )
+    registry.register_join_selectivity("lowcost", "concerts", 0.02)
+    return registry
+
+
+def mahler_weekend_query(budget: int = 120) -> ConjunctiveQuery:
+    """April weekend with a cheap flight and a Mahler symphony."""
+    city = Variable("City")
+    date = Variable("Date")
+    price = Variable("Price")
+    venue = Variable("Venue")
+    atoms = (
+        Atom("lowcost", (Constant("Milano"), city, date, price)),
+        Atom("concerts", (city, date, Constant("Mahler"), venue)),
+    )
+    predicates = (
+        Comparison(date, ">=", Constant("2008-04-01"), selectivity=1.0),
+        Comparison(date, "<=", Constant("2008-04-30"), selectivity=1.0),
+        Comparison(price, "<=", Constant(budget), selectivity=0.8),
+    )
+    return ConjunctiveQuery(
+        name="weekend",
+        head=(city, date, price, venue),
+        atoms=atoms,
+        predicates=predicates,
+    )

@@ -1,0 +1,93 @@
+"""Shared fixtures: registries, queries, and small synthetic schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.atoms import Atom
+from repro.model.predicates import Comparison
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import signature
+from repro.model.terms import Constant, Variable
+from repro.services.profile import exact_profile, search_profile
+from repro.services.registry import ServiceRegistry
+from repro.services.table import TableExactService, TableSearchService
+from repro.sources.travel import running_example_query, travel_registry
+from repro.sources.world import build_world
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The calibrated travel world (expensive enough to share)."""
+    return build_world()
+
+
+@pytest.fixture()
+def registry(world):
+    """A fresh travel registry (per test: services hold remote-cache state)."""
+    return travel_registry(world)
+
+
+@pytest.fixture()
+def travel_query():
+    """The running-example query of Figure 3."""
+    return running_example_query()
+
+
+@pytest.fixture()
+def tiny_registry():
+    """A minimal two-service registry for unit tests.
+
+    ``cities(Country, City)`` — exact, bulk, by country.
+    ``spots(City, Spot, Score)`` — search, chunked by 2, by city.
+    """
+    registry = ServiceRegistry()
+    registry.register(
+        TableExactService(
+            signature("cities", ["Country", "City"], ["io"]),
+            exact_profile(erspi=3.0, response_time=1.0),
+            [
+                ("it", "Roma"),
+                ("it", "Milano"),
+                ("it", "Torino"),
+                ("fr", "Paris"),
+                ("fr", "Lyon"),
+            ],
+        )
+    )
+    registry.register(
+        TableSearchService(
+            signature("spots", ["City", "Spot", "Score"], ["ioo"]),
+            search_profile(chunk_size=2, response_time=2.0),
+            [
+                ("Roma", "Colosseo", 10),
+                ("Roma", "Pantheon", 9),
+                ("Roma", "Trastevere", 7),
+                ("Milano", "Duomo", 9),
+                ("Milano", "Navigli", 6),
+                ("Paris", "Louvre", 10),
+                ("Paris", "Marais", 8),
+                ("Paris", "Pantheon", 7),
+            ],
+            score=lambda row: float(row[2]),
+        )
+    )
+    return registry
+
+
+@pytest.fixture()
+def tiny_query():
+    """Italian cities and their best spots with a score filter."""
+    country = Constant("it")
+    city = Variable("City")
+    spot = Variable("Spot")
+    score = Variable("Score")
+    return ConjunctiveQuery(
+        name="tour",
+        head=(city, spot),
+        atoms=(
+            Atom("cities", (country, city)),
+            Atom("spots", (city, spot, score)),
+        ),
+        predicates=(Comparison(score, ">=", Constant(7), selectivity=0.8),),
+    )

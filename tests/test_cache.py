@@ -1,0 +1,112 @@
+"""Unit tests for the three logical-cache settings (Section 5.1)."""
+
+import pytest
+
+from repro.execution.cache import (
+    CacheSetting,
+    NoCache,
+    OneCallCache,
+    OptimalCache,
+    make_cache,
+)
+
+
+class TestFactory:
+    def test_make_cache_types(self):
+        assert isinstance(make_cache(CacheSetting.NO_CACHE), NoCache)
+        assert isinstance(make_cache(CacheSetting.ONE_CALL), OneCallCache)
+        assert isinstance(make_cache(CacheSetting.OPTIMAL), OptimalCache)
+
+
+class TestNoCache:
+    def test_always_misses(self):
+        cache = NoCache()
+        cache.store("s", "key", 0, "value")
+        assert cache.lookup("s", "key", 0) is None
+
+    def test_clear_is_noop(self):
+        NoCache().clear()
+
+
+class TestOneCallCache:
+    def test_hit_on_repeat_of_last_call(self):
+        cache = OneCallCache()
+        cache.store("s", "city-a", 0, "result-a")
+        assert cache.lookup("s", "city-a", 0) == "result-a"
+
+    def test_miss_after_different_input(self):
+        cache = OneCallCache()
+        cache.store("s", "city-a", 0, "result-a")
+        cache.store("s", "city-b", 0, "result-b")
+        assert cache.lookup("s", "city-a", 0) is None
+        assert cache.lookup("s", "city-b", 0) == "result-b"
+
+    def test_all_pages_of_last_input_kept(self):
+        # A chunked service fetched page-by-page for the same input
+        # must keep every page until the input changes.
+        cache = OneCallCache()
+        cache.store("s", "city-a", 0, "page0")
+        cache.store("s", "city-a", 1, "page1")
+        assert cache.lookup("s", "city-a", 0) == "page0"
+        assert cache.lookup("s", "city-a", 1) == "page1"
+
+    def test_pages_evicted_with_input(self):
+        cache = OneCallCache()
+        cache.store("s", "city-a", 0, "page0")
+        cache.store("s", "city-a", 1, "page1")
+        cache.store("s", "city-b", 0, "other")
+        assert cache.lookup("s", "city-a", 1) is None
+
+    def test_per_service_isolation(self):
+        cache = OneCallCache()
+        cache.store("s", "k", 0, "v-s")
+        cache.store("t", "other", 0, "v-t")
+        assert cache.lookup("s", "k", 0) == "v-s"
+
+    def test_clear(self):
+        cache = OneCallCache()
+        cache.store("s", "k", 0, "v")
+        cache.clear()
+        assert cache.lookup("s", "k", 0) is None
+
+
+class TestOptimalCache:
+    def test_remembers_everything(self):
+        cache = OptimalCache()
+        cache.store("s", "a", 0, "va")
+        cache.store("s", "b", 0, "vb")
+        cache.store("s", "a", 1, "va1")
+        assert cache.lookup("s", "a", 0) == "va"
+        assert cache.lookup("s", "b", 0) == "vb"
+        assert cache.lookup("s", "a", 1) == "va1"
+
+    def test_distinct_services_distinct_entries(self):
+        cache = OptimalCache()
+        cache.store("s", "k", 0, "v-s")
+        assert cache.lookup("t", "k", 0) is None
+
+    def test_clear(self):
+        cache = OptimalCache()
+        cache.store("s", "k", 0, "v")
+        cache.clear()
+        assert cache.lookup("s", "k", 0) is None
+
+
+class TestHierarchy:
+    def test_optimal_supersedes_one_call(self):
+        """Any hit in the one-call cache is also a hit in the optimal
+        cache under the same call trace."""
+        trace = [("a", 0), ("a", 0), ("b", 0), ("a", 0), ("a", 1)]
+        one_call = OneCallCache()
+        optimal = OptimalCache()
+        one_hits = opt_hits = 0
+        for key, page in trace:
+            if one_call.lookup("s", key, page) is not None:
+                one_hits += 1
+            one_call.store("s", key, page, "x")
+            if optimal.lookup("s", key, page) is not None:
+                opt_hits += 1
+            optimal.store("s", key, page, "x")
+        assert opt_hits >= one_hits
+        assert one_hits == 1  # only the immediate repeat
+        assert opt_hits == 2  # the repeat and the later return to 'a'

@@ -1,0 +1,71 @@
+"""Cache-setting hierarchy across the whole plan space.
+
+For every one of the 19 topologies of the running example and every
+service, the engine must issue
+
+    calls(optimal) <= calls(one-call) <= calls(no-cache)
+
+and all three settings must return the same answers — the execution-
+level counterpart of Section 5.1.
+"""
+
+import pytest
+
+from repro.execution.cache import CacheSetting
+from repro.execution.engine import ExecutionEngine
+from repro.optimizer.topology import TopologyEnumerator
+from repro.plans.builder import PlanBuilder
+from repro.sources.travel import (
+    FLIGHT_ATOM,
+    HOTEL_ATOM,
+    alpha1_patterns,
+    running_example_query,
+    travel_registry,
+)
+
+_REGISTRY = travel_registry()
+_QUERY = running_example_query()
+_POSETS = TopologyEnumerator(_QUERY, alpha1_patterns()).all_posets()
+_BUILDER = PlanBuilder(_QUERY, _REGISTRY)
+
+
+@pytest.fixture(scope="module", params=range(len(_POSETS)))
+def executed(request):
+    plan = _BUILDER.build(
+        alpha1_patterns(), _POSETS[request.param],
+        fetches={FLIGHT_ATOM: 1, HOTEL_ATOM: 1},
+    )
+    outcomes = {}
+    for setting in CacheSetting:
+        engine = ExecutionEngine(_REGISTRY, cache_setting=setting)
+        outcomes[setting] = engine.execute(plan, head=_QUERY.head)
+    return outcomes
+
+
+class TestHierarchy:
+    def test_calls_ordering_per_service(self, executed):
+        for name in ("conf", "weather", "flight", "hotel"):
+            optimal = executed[CacheSetting.OPTIMAL].stats.calls(name)
+            one_call = executed[CacheSetting.ONE_CALL].stats.calls(name)
+            no_cache = executed[CacheSetting.NO_CACHE].stats.calls(name)
+            assert optimal <= one_call <= no_cache, name
+
+    def test_answers_identical_across_settings(self, executed):
+        reference = frozenset(executed[CacheSetting.NO_CACHE].answers(None))
+        for setting in (CacheSetting.ONE_CALL, CacheSetting.OPTIMAL):
+            assert frozenset(executed[setting].answers(None)) == reference
+
+    def test_elapsed_never_increases_with_caching(self, executed):
+        no = executed[CacheSetting.NO_CACHE].elapsed
+        one = executed[CacheSetting.ONE_CALL].elapsed
+        optimal = executed[CacheSetting.OPTIMAL].elapsed
+        assert optimal <= one + 1e-9 <= no + 1e-9
+
+    def test_cache_hits_complement_calls(self, executed):
+        """Hits + calls is constant across settings (same tuple flow)."""
+        totals = {}
+        for setting, outcome in executed.items():
+            totals[setting] = (
+                outcome.stats.total_calls + outcome.stats.total_cache_hits
+            )
+        assert len(set(totals.values())) == 1

@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDemo:
+    def test_weekend_demo(self, capsys):
+        assert main(["demo", "weekend", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Optimal plan" in out
+        assert "Top 3 answers" in out
+
+    def test_demo_without_execution(self, capsys):
+        assert main(["demo", "weekend", "-k", "3", "--no-execute"]) == 0
+        out = capsys.readouterr().out
+        assert "Optimal plan" in out
+        assert "Top 3 answers" not in out
+
+    def test_demo_requests_metric(self, capsys):
+        assert main(
+            ["demo", "weekend", "-k", "3", "--metric", "requests",
+             "--no-execute"]
+        ) == 0
+        assert "request-response" in capsys.readouterr().out
+
+    def test_default_domain_is_travel(self, capsys):
+        assert main(["demo", "-k", "10", "--no-execute"]) == 0
+        out = capsys.readouterr().out
+        assert "conf" in out and "weather" in out
+
+
+class TestOptimize:
+    def test_adhoc_query_over_travel(self, capsys):
+        query = (
+            "q(City, Hotel, HPrice) :- "
+            "conf('DB', Conf, Start, End, City), "
+            "hotel(Hotel, City, 'luxury', Start, End, HPrice), "
+            "HPrice <= 600."
+        )
+        assert main(["optimize", query, "-k", "5", "--no-execute"]) == 0
+        out = capsys.readouterr().out
+        assert "Optimal plan" in out
+
+    def test_bad_query_raises(self):
+        from repro.model.parser import ParseError
+
+        with pytest.raises(ParseError):
+            main(["optimize", "not a query", "--no-execute"])
+
+
+class TestArgparse:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "mars"])

@@ -1,0 +1,154 @@
+"""Edge-case batch: validation errors and rarely-hit branches."""
+
+import pytest
+
+from repro.model.schema import AccessPattern, signature
+from repro.services.base import InvocationError, InvocationResult, LatencyModel
+from repro.services.profile import exact_profile
+from repro.services.table import TableExactService
+
+
+class TestInvocationResult:
+    def test_rank_alignment_enforced(self):
+        with pytest.raises(InvocationError):
+            InvocationResult(
+                tuples=(("a",), ("b",)), latency=1.0, has_more=False,
+                ranks=(0,),
+            )
+
+    def test_len(self):
+        result = InvocationResult(tuples=(("a",),), latency=1.0, has_more=False)
+        assert len(result) == 1
+
+
+class TestLatencyModel:
+    def test_custom_repeat_factor(self):
+        model = LatencyModel(
+            response_time=10.0, remote_caching=True, repeat_factor=0.5
+        )
+        first, hit_first = model.latency_for("key")
+        second, hit_second = model.latency_for("key")
+        assert (first, hit_first) == (10.0, False)
+        assert (second, hit_second) == (5.0, True)
+
+    def test_reset_forgets(self):
+        model = LatencyModel(response_time=10.0, remote_caching=True)
+        model.latency_for("key")
+        model.reset()
+        latency, hit = model.latency_for("key")
+        assert latency == 10.0 and not hit
+
+
+class TestServiceValidation:
+    @pytest.fixture()
+    def service(self):
+        return TableExactService(
+            signature("s", ["A", "B"], ["io"]),
+            exact_profile(erspi=1.0, response_time=1.0),
+            [("a", 1)],
+        )
+
+    def test_negative_page_rejected(self, service):
+        with pytest.raises(InvocationError):
+            service.invoke(AccessPattern("io"), {0: "a"}, page=-1)
+
+    def test_repr(self, service):
+        assert "TableExactService" in repr(service)
+        assert "'s'" in repr(service)
+
+
+class TestNodeValidation:
+    def test_service_node_requires_parts(self):
+        from repro.plans.nodes import ServiceNode
+
+        with pytest.raises(ValueError):
+            ServiceNode()
+
+    def test_bulk_node_rejects_fetches(self):
+        from repro.model.atoms import atom
+        from repro.plans.nodes import ServiceNode
+
+        with pytest.raises(ValueError):
+            ServiceNode(
+                atom_index=0,
+                atom=atom("s", "X"),
+                pattern=AccessPattern("o"),
+                profile=exact_profile(erspi=1.0, response_time=1.0),
+                fetches=2,
+            )
+
+    def test_join_selectivity_bounds(self):
+        from repro.plans.nodes import JoinNode
+
+        with pytest.raises(ValueError):
+            JoinNode(selectivity=1.5)
+
+    def test_labels(self):
+        from repro.model.atoms import atom
+        from repro.plans.nodes import JoinNode, ServiceNode
+        from repro.services.profile import search_profile
+        from repro.services.registry import JoinMethod
+        from repro.model.terms import Variable
+
+        search_node = ServiceNode(
+            atom_index=0,
+            atom=atom("s", "X"),
+            pattern=AccessPattern("o"),
+            profile=search_profile(chunk_size=5, response_time=1.0),
+            fetches=2,
+        )
+        assert "~" in search_node.label and "F=2" in search_node.label
+        join = JoinNode(
+            method=JoinMethod.NESTED_LOOP,
+            variables=frozenset({Variable("City")}),
+        )
+        assert join.label == "NL(City)"
+        assert JoinNode().label == "MS(×)"
+
+
+class TestProfilerEdge:
+    def test_multi_page_probe_counts_all_fetches(self):
+        from repro.services.profiler import ServiceProfiler
+        from repro.services.profile import search_profile
+        from repro.services.table import TableSearchService
+
+        service = TableSearchService(
+            signature("s", ["K", "V"], ["io"]),
+            search_profile(chunk_size=2, response_time=1.0),
+            [("k", i) for i in range(5)],
+            score=lambda row: -float(row[1]),
+        )
+        estimate = ServiceProfiler(service).estimate(
+            AccessPattern("io"), [{0: "k"}], fetches_per_input=3
+        )
+        assert estimate.invocations == 3  # pages 0, 1, 2 (last short)
+        assert estimate.chunk_size == 2
+
+
+class TestRegistryEdge:
+    def test_names_and_iteration(self, tiny_registry):
+        assert tiny_registry.names == ("cities", "spots")
+        assert len(list(tiny_registry)) == 2
+
+    def test_profile_unknown_pattern_falls_back(self, tiny_registry):
+        default = tiny_registry.profile("cities")
+        assert tiny_registry.profile("cities", "zz") == default
+
+
+class TestAnnotationEdge:
+    def test_single_atom_plan(self, tiny_registry):
+        from repro.execution.cache import CacheSetting
+        from repro.model.atoms import atom
+        from repro.model.query import query as make_query
+        from repro.model.terms import Variable
+        from repro.plans.annotate import annotate
+        from repro.plans.builder import PlanBuilder, Poset
+
+        q = make_query("q", [Variable("City")], [atom("cities", "it", "City")])
+        plan = PlanBuilder(q, tiny_registry).build(
+            (tiny_registry.signature("cities").pattern("io"),), Poset(n=1)
+        )
+        annotation = annotate(plan, CacheSetting.ONE_CALL)
+        assert annotation.output_size == pytest.approx(3.0)
+        node = plan.service_nodes[0]
+        assert annotation.calls(node) == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Cross-cutting tests: CLI reproduce, engine modes, misc edges."""
+
+import pytest
+
+from repro.execution.cache import CacheSetting
+from repro.execution.engine import ExecutionEngine, ExecutionMode
+from repro.plans.builder import PlanBuilder
+from repro.sources.travel import (
+    FLIGHT_ATOM,
+    HOTEL_ATOM,
+    alpha1_patterns,
+    poset_optimal,
+)
+
+
+class TestCliReproduce:
+    def test_reproduce_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Figure 8" in out
+        assert "Figure 11" in out
+        assert "calls match paper: True" in out
+
+
+class TestEngineModes:
+    @pytest.fixture()
+    def plan(self, registry, travel_query):
+        return PlanBuilder(travel_query, registry).build(
+            alpha1_patterns(), poset_optimal(),
+            fetches={FLIGHT_ATOM: 1, HOTEL_ATOM: 1},
+        )
+
+    def test_sequential_slower_than_parallel_on_branching_plan(
+        self, registry, travel_query, plan
+    ):
+        sequential = ExecutionEngine(
+            registry, CacheSetting.NO_CACHE, mode=ExecutionMode.SEQUENTIAL
+        ).execute(plan, head=travel_query.head)
+        parallel = ExecutionEngine(
+            registry, CacheSetting.NO_CACHE, mode=ExecutionMode.PARALLEL
+        ).execute(plan, head=travel_query.head)
+        # Plan O branches after weather: parallel overlaps the two
+        # search services, sequential pays the sum.
+        assert parallel.elapsed < sequential.elapsed
+        assert frozenset(parallel.answers(None)) == frozenset(
+            sequential.answers(None)
+        )
+
+    def test_remote_cache_preserved_when_not_reset(
+        self, registry, travel_query, plan
+    ):
+        engine = ExecutionEngine(registry, CacheSetting.NO_CACHE)
+        first = engine.execute(plan, head=travel_query.head)
+        warm = engine.execute(
+            plan, head=travel_query.head, reset_remote_caches=False
+        )
+        # Hotel (the Bookings analogue) answers every repeated call
+        # from its own remote cache on the warm run; it spends less
+        # busy time even though no logical cache is in place.
+        first_hotel = first.stats.service("hotel")
+        warm_hotel = warm.stats.service("hotel")
+        assert warm_hotel.remote_cache_hits > first_hotel.remote_cache_hits
+        assert warm_hotel.busy_time < first_hotel.busy_time
+
+    def test_k_is_advisory_answers_trim(self, registry, travel_query, plan):
+        engine = ExecutionEngine(registry, CacheSetting.ONE_CALL)
+        result = engine.execute(plan, head=travel_query.head, k=3)
+        assert len(result.answers()) == 3
+        assert len(result.rows) > 3
+
+    def test_empty_head_projects_empty_tuples(self, registry, plan):
+        engine = ExecutionEngine(registry, CacheSetting.ONE_CALL)
+        result = engine.execute(plan, head=())
+        assert result.answers(2) == [(), ()]
+
+
+class TestRankComposition:
+    def test_top_answer_is_cheap_pair(self, registry, travel_query):
+        """The composed ranking puts low flight-rank + low hotel-rank
+        combinations first; both services rank by ascending price."""
+        plan = PlanBuilder(travel_query, registry).build(
+            alpha1_patterns(), poset_optimal(),
+            fetches={FLIGHT_ATOM: 1, HOTEL_ATOM: 1},
+        )
+        engine = ExecutionEngine(registry, CacheSetting.ONE_CALL)
+        result = engine.execute(plan, head=travel_query.head)
+        head_names = [v.name for v in travel_query.head]
+        f_index = head_names.index("FPrice")
+        h_index = head_names.index("HPrice")
+        best = result.rows[0]
+        first = best.project(tuple(travel_query.head))
+        # Every answer in the same city/date block costs at least as
+        # much on both components as the top-ranked one.
+        city_index = head_names.index("City")
+        for row in result.rows[1:]:
+            answer = row.project(tuple(travel_query.head))
+            if answer[city_index] != first[city_index]:
+                continue
+            assert (
+                answer[f_index] >= first[f_index]
+                or answer[h_index] >= first[h_index]
+            )
+
+    def test_rank_key_zero_for_exact_only_rows(self):
+        from repro.execution.results import Row
+
+        assert Row(bindings={}).rank_key() == 0
+
+
+class TestWorldHelpers:
+    def test_city_dates_stable(self):
+        from repro.sources.world import city_dates
+
+        assert city_dates("Cancun") == city_dates("Cancun")
+        start, end = city_dates("Cancun")
+        assert start < end
+
+    def test_all_cities_property(self, world):
+        assert len(world.all_cities) == 54

@@ -1,0 +1,75 @@
+"""Tests for per-node execution tracing (estimated vs actual flow)."""
+
+import pytest
+
+from repro.execution.cache import CacheSetting
+from repro.execution.engine import execute_plan
+from repro.plans.annotate import annotate
+from repro.plans.builder import PlanBuilder
+from repro.sources.travel import (
+    CONF_ATOM,
+    FLIGHT_ATOM,
+    HOTEL_ATOM,
+    WEATHER_ATOM,
+    alpha1_patterns,
+    poset_optimal,
+    poset_serial,
+)
+
+
+@pytest.fixture()
+def traced(registry, travel_query):
+    plan = PlanBuilder(travel_query, registry).build(
+        alpha1_patterns(), poset_serial(),
+        fetches={FLIGHT_ATOM: 1, HOTEL_ATOM: 1},
+    )
+    result = execute_plan(
+        plan, registry, head=travel_query.head,
+        cache_setting=CacheSetting.NO_CACHE,
+    )
+    return plan, result
+
+
+class TestNodeTracing:
+    def test_sizes_collected_for_every_node(self, traced):
+        plan, result = traced
+        for node in plan.nodes:
+            assert result.output_size_of(node) >= 0
+
+    def test_known_flow_values(self, traced):
+        """The Section 6 narrative, node by node, in plan S."""
+        plan, result = traced
+        assert result.output_size_of(plan.input_node) == 1
+        assert result.output_size_of(
+            plan.service_node_for_atom(CONF_ATOM)
+        ) == 71
+        assert result.output_size_of(
+            plan.service_node_for_atom(WEATHER_ATOM)
+        ) == 16
+        assert result.output_size_of(
+            plan.service_node_for_atom(FLIGHT_ATOM)
+        ) == 284
+
+    def test_estimates_and_actuals_have_same_shape(self, registry, travel_query):
+        """Estimated t_out orders the nodes the same way the executed
+        flow does (the estimate uses average profiles, the execution
+        the concrete 'DB' data)."""
+        plan = PlanBuilder(travel_query, registry).build(
+            alpha1_patterns(), poset_optimal(),
+            fetches={FLIGHT_ATOM: 1, HOTEL_ATOM: 1},
+        )
+        annotation = annotate(plan, CacheSetting.NO_CACHE)
+        result = execute_plan(plan, registry, head=travel_query.head)
+        service_nodes = plan.service_nodes
+        estimated = sorted(
+            service_nodes, key=lambda n: annotation.tuples_out(n)
+        )
+        actual = sorted(
+            service_nodes, key=lambda n: result.output_size_of(n)
+        )
+        # weather smallest, conf middle, searches largest in both.
+        assert estimated[0].service_name == actual[0].service_name == "weather"
+
+    def test_output_node_matches_row_count(self, traced):
+        plan, result = traced
+        assert result.output_size_of(plan.output_node) == len(result.rows)

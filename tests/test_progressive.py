@@ -1,0 +1,102 @@
+"""Tests for progressive execution ("ask for more", Section 2.2)."""
+
+import pytest
+
+from repro.execution.progressive import ProgressiveExecutor
+from repro.plans.builder import PlanBuilder, chain_poset
+from repro.sources.travel import (
+    FLIGHT_ATOM,
+    HOTEL_ATOM,
+    alpha1_patterns,
+    poset_optimal,
+)
+
+
+@pytest.fixture()
+def executor(registry, travel_query):
+    plan = PlanBuilder(travel_query, registry).build(
+        alpha1_patterns(), poset_optimal(),
+        fetches={FLIGHT_ATOM: 1, HOTEL_ATOM: 1},
+    )
+    return ProgressiveExecutor(
+        registry=registry, plan=plan, head=tuple(travel_query.head)
+    )
+
+
+class TestRun:
+    def test_reaches_k(self, executor):
+        result = executor.run(k=10)
+        assert len(result.rows) >= 10
+
+    def test_single_round_when_enough(self, executor):
+        executor.run(k=1)
+        assert len(executor.rounds) == 1
+
+    def test_fetches_grow_monotonically(self, executor):
+        executor.run(k=100)
+        vectors = [r.fetches for r in executor.rounds]
+        for earlier, later in zip(vectors, vectors[1:]):
+            for atom_index in earlier:
+                assert later[atom_index] >= earlier[atom_index]
+
+    def test_continuation_reuses_cache(self, registry, travel_query):
+        plan = PlanBuilder(travel_query, registry).build(
+            alpha1_patterns(), poset_optimal(),
+            fetches={FLIGHT_ATOM: 1, HOTEL_ATOM: 1},
+        )
+        executor = ProgressiveExecutor(
+            registry=registry, plan=plan, head=tuple(travel_query.head)
+        )
+        first = executor.run(k=5)
+        before = first.stats.calls("weather")
+        more = executor.more(20)
+        # The continuation round answers all previously-issued calls
+        # from the shared optimal cache: weather needs no new calls.
+        assert more.stats.calls("weather") <= before
+        assert more.stats.total_cache_hits > 0
+        assert len(more.rows) >= len(first.rows)
+
+    def test_more_is_incremental(self, executor):
+        first = executor.run(k=3)
+        extended = executor.more(10)
+        assert len(extended.rows) >= min(13, len(first.rows) + 1)
+
+
+class TestCaps:
+    def test_decay_caps_stop_growth(self, tiny_query):
+        from repro.model.schema import signature
+        from repro.services.profile import exact_profile, search_profile
+        from repro.services.registry import ServiceRegistry
+        from repro.services.table import TableExactService, TableSearchService
+
+        registry = ServiceRegistry()
+        registry.register(
+            TableExactService(
+                signature("cities", ["Country", "City"], ["io"]),
+                exact_profile(erspi=1.0, response_time=1.0),
+                [("it", "Roma")],
+            )
+        )
+        registry.register(
+            TableSearchService(
+                signature("spots", ["City", "Spot", "Score"], ["ioo"]),
+                search_profile(chunk_size=2, response_time=1.0, decay=4),
+                [("Roma", f"s{i}", 10) for i in range(20)],
+                score=lambda row: float(row[2]),
+            )
+        )
+        plan = PlanBuilder(tiny_query, registry).build(
+            (
+                registry.signature("cities").pattern("io"),
+                registry.signature("spots").pattern("ioo"),
+            ),
+            chain_poset(2, [0, 1]),
+        )
+        executor = ProgressiveExecutor(
+            registry=registry, plan=plan, head=tuple(tiny_query.head)
+        )
+        result = executor.run(k=50)
+        # decay 4 caps the factor at 2, so at most 4 tuples ever.
+        assert len(result.rows) <= 4
+        final = executor.rounds[-1].fetches
+        assert final[1] == 2

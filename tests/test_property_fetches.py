@@ -1,0 +1,104 @@
+"""Property-based tests for phase 3 (fetch assignment)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.sum_cost import RequestResponseMetric
+from repro.costs.time_cost import ExecutionTimeMetric
+from repro.execution.cache import CacheSetting
+from repro.optimizer.fetches import (
+    FetchContext,
+    exhaustive_assignment,
+    greedy_assignment,
+    square_assignment,
+)
+from repro.plans.builder import PlanBuilder
+from repro.sources.travel import (
+    FLIGHT_ATOM,
+    HOTEL_ATOM,
+    alpha1_patterns,
+    poset_optimal,
+    poset_serial,
+    running_example_query,
+    travel_registry,
+)
+
+_REGISTRY = travel_registry()
+_QUERY = running_example_query()
+_BUILDER = PlanBuilder(_QUERY, _REGISTRY)
+
+_k_values = st.integers(1, 60)
+
+
+def _context(poset, metric):
+    plan = _BUILDER.build(alpha1_patterns(), poset)
+    return FetchContext(plan, metric, CacheSetting.ONE_CALL)
+
+
+class TestFeasibility:
+    @given(_k_values)
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_meets_k(self, k):
+        result = greedy_assignment(_context(poset_optimal(), ExecutionTimeMetric()), k)
+        assert result.feasible
+        assert result.output_size >= k
+
+    @given(_k_values)
+    @settings(max_examples=25, deadline=None)
+    def test_square_meets_k(self, k):
+        result = square_assignment(_context(poset_optimal(), ExecutionTimeMetric()), k)
+        assert result.feasible
+
+    @given(_k_values)
+    @settings(max_examples=15, deadline=None)
+    def test_exhaustive_meets_k_on_serial_plan(self, k):
+        result = exhaustive_assignment(
+            _context(poset_serial(), RequestResponseMetric()), k
+        )
+        assert result.feasible
+
+
+class TestOptimality:
+    @given(st.integers(1, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_exhaustive_never_worse_than_heuristics(self, k):
+        context = _context(poset_optimal(), ExecutionTimeMetric())
+        best = exhaustive_assignment(context, k)
+        for heuristic in (greedy_assignment, square_assignment):
+            other = heuristic(context, k)
+            if other.feasible:
+                assert best.cost <= other.cost + 1e-9
+
+    @given(st.integers(1, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_exhaustive_result_is_minimal(self, k):
+        context = _context(poset_optimal(), RequestResponseMetric())
+        best = exhaustive_assignment(context, k)
+        for atom_index in (FLIGHT_ATOM, HOTEL_ATOM):
+            if best.fetches[atom_index] <= 1:
+                continue
+            shrunk = dict(best.fetches)
+            shrunk[atom_index] -= 1
+            trial = context.evaluate(shrunk, k)
+            assert (not trial.feasible) or trial.cost >= best.cost - 1e-9
+
+
+class TestOutputModel:
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_fast_output_size_matches_annotation(self, f_flight, f_hotel):
+        """h(F) = h(1) * prod F_i must agree with the full annotation."""
+        context = _context(poset_optimal(), ExecutionTimeMetric())
+        fetches = {FLIGHT_ATOM: f_flight, HOTEL_ATOM: f_hotel}
+        fast = context.output_size(fetches)
+        exact = context.annotate(fetches).output_size
+        assert fast == pytest.approx(exact)
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_output_monotone_in_fetches(self, f_flight, f_hotel):
+        context = _context(poset_optimal(), ExecutionTimeMetric())
+        base = context.output_size({FLIGHT_ATOM: f_flight, HOTEL_ATOM: f_hotel})
+        more = context.output_size({FLIGHT_ATOM: f_flight + 1, HOTEL_ATOM: f_hotel})
+        assert more >= base

@@ -1,0 +1,107 @@
+"""Property-based tests for the rank-preserving join strategies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.joins import (
+    execute_join,
+    is_order_rank_consistent,
+    merge_scan_order,
+    nested_loop_order,
+)
+from repro.execution.results import Row
+from repro.model.terms import Variable
+from repro.services.registry import JoinMethod
+
+_sizes = st.integers(min_value=0, max_value=8)
+
+
+class TestVisitOrderProperties:
+    @given(_sizes, _sizes)
+    def test_nested_loop_covers_grid_exactly_once(self, n, m):
+        cells = list(nested_loop_order(n, m))
+        assert len(cells) == n * m
+        assert len(set(cells)) == n * m
+
+    @given(_sizes, _sizes)
+    def test_merge_scan_covers_grid_exactly_once(self, n, m):
+        cells = list(merge_scan_order(n, m))
+        assert len(cells) == n * m
+        assert len(set(cells)) == n * m
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30)
+    def test_nested_loop_rank_consistent(self, n, m):
+        assert is_order_rank_consistent(list(nested_loop_order(n, m)))
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30)
+    def test_merge_scan_rank_consistent(self, n, m):
+        assert is_order_rank_consistent(list(merge_scan_order(n, m)))
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    def test_merge_scan_diagonals_nondecreasing(self, n, m):
+        sums = [i + j for i, j in merge_scan_order(n, m)]
+        assert sums == sorted(sums)
+
+
+def _rows(values, key_name):
+    return [
+        Row(bindings={Variable("K"): key, Variable(key_name): index})
+        for index, key in enumerate(values)
+    ]
+
+
+_keys = st.lists(st.integers(0, 3), min_size=0, max_size=6)
+
+
+class TestJoinSemantics:
+    @given(_keys, _keys)
+    @settings(max_examples=60)
+    def test_join_equals_naive_natural_join(self, left_keys, right_keys):
+        left = _rows(left_keys, "L")
+        right = _rows(right_keys, "R")
+        for method in (JoinMethod.NESTED_LOOP, JoinMethod.MERGE_SCAN):
+            produced = execute_join(method, left, right)
+            expected = {
+                (lk, li, ri)
+                for li, lk in enumerate(left_keys)
+                for ri, rk in enumerate(right_keys)
+                if lk == rk
+            }
+            actual = {
+                (
+                    row.bindings[Variable("K")],
+                    row.bindings[Variable("L")],
+                    row.bindings[Variable("R")],
+                )
+                for row in produced
+            }
+            assert actual == expected
+
+    @given(_keys, _keys)
+    @settings(max_examples=60)
+    def test_both_methods_produce_same_multiset(self, left_keys, right_keys):
+        left = _rows(left_keys, "L")
+        right = _rows(right_keys, "R")
+        nl = execute_join(JoinMethod.NESTED_LOOP, left, right)
+        ms = execute_join(JoinMethod.MERGE_SCAN, left, right)
+        as_set = lambda rows: sorted(
+            tuple(sorted((v.name, x) for v, x in r.bindings.items())) for r in rows
+        )
+        assert as_set(nl) == as_set(ms)
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30)
+    def test_emission_respects_domination(self, n, m):
+        """If pair (i,j) componentwise dominates (i',j'), it is emitted
+        earlier — for both strategies, on an all-matching key."""
+        left = _rows([0] * n, "L")
+        right = _rows([0] * m, "R")
+        for method in (JoinMethod.NESTED_LOOP, JoinMethod.MERGE_SCAN):
+            produced = execute_join(method, left, right)
+            emitted = [
+                (row.bindings[Variable("L")], row.bindings[Variable("R")])
+                for row in produced
+            ]
+            assert is_order_rank_consistent(emitted)

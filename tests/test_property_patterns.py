@@ -1,0 +1,103 @@
+"""Property-based tests for access patterns and cogency (Section 4.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.atoms import Atom
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import AccessPattern, schema_of, signature
+from repro.model.terms import Constant, Variable
+from repro.optimizer.patterns import (
+    is_executable,
+    most_cogent_sequences,
+    permissible_sequences,
+    sequence_is_more_cogent,
+)
+
+_codes = st.text(alphabet="io", min_size=1, max_size=6)
+
+
+class TestCogencyOrder:
+    @given(_codes)
+    def test_reflexive(self, code):
+        pattern = AccessPattern(code)
+        assert pattern.is_more_cogent_than(pattern)
+
+    @given(_codes, _codes, _codes)
+    def test_transitive(self, a, b, c):
+        size = min(len(a), len(b), len(c))
+        pa, pb, pc = (AccessPattern(x[:size]) for x in (a, b, c))
+        if pa.is_more_cogent_than(pb) and pb.is_more_cogent_than(pc):
+            assert pa.is_more_cogent_than(pc)
+
+    @given(_codes, _codes)
+    def test_antisymmetric_up_to_equality(self, a, b):
+        size = min(len(a), len(b))
+        pa, pb = AccessPattern(a[:size]), AccessPattern(b[:size])
+        if pa.is_more_cogent_than(pb) and pb.is_more_cogent_than(pa):
+            assert pa.code == pb.code
+
+    @given(_codes)
+    def test_all_input_pattern_dominates_everything(self, code):
+        all_input = AccessPattern("i" * len(code))
+        assert all_input.is_more_cogent_than(AccessPattern(code))
+
+
+def _random_queries():
+    """Small random chain-shaped queries with random i/o adornments."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(1, 4))
+        atoms = []
+        signatures = []
+        variables = [Variable(f"V{i}") for i in range(n + 1)]
+        for index in range(n):
+            # Each atom links variable index to index+1 plus a constant.
+            name = f"s{index}"
+            patterns = draw(
+                st.lists(
+                    st.sampled_from(["iio", "oio", "ooo", "iio"]),
+                    min_size=1, max_size=3, unique=True,
+                )
+            )
+            signatures.append(signature(name, ["A", "B", "C"], patterns))
+            atoms.append(
+                Atom(name, (variables[index], variables[index + 1], Constant(index)))
+            )
+        query = ConjunctiveQuery(name="q", head=(), atoms=tuple(atoms))
+        return query, schema_of(signatures)
+
+    return build()
+
+
+class TestPermissibility:
+    @given(_random_queries())
+    @settings(max_examples=50)
+    def test_permissible_sequences_are_executable(self, query_and_schema):
+        query, schema = query_and_schema
+        for patterns in permissible_sequences(query, schema):
+            assert is_executable(query, patterns)
+
+    @given(_random_queries())
+    @settings(max_examples=50)
+    def test_most_cogent_is_antichain(self, query_and_schema):
+        query, schema = query_and_schema
+        sequences = permissible_sequences(query, schema)
+        top = most_cogent_sequences(sequences)
+        for first in top:
+            for second in top:
+                if first is second:
+                    continue
+                assert not (
+                    sequence_is_more_cogent(first, second)
+                    and not sequence_is_more_cogent(second, first)
+                )
+
+    @given(_random_queries())
+    @settings(max_examples=50)
+    def test_most_cogent_nonempty_when_permissible(self, query_and_schema):
+        query, schema = query_and_schema
+        sequences = permissible_sequences(query, schema)
+        if sequences:
+            assert most_cogent_sequences(sequences)

@@ -1,0 +1,110 @@
+"""Unit tests for conjunctive queries (safety, joins, multi-domain)."""
+
+import pytest
+
+from repro.model.atoms import atom
+from repro.model.predicates import comparison
+from repro.model.query import ConjunctiveQuery, QueryError, query
+from repro.model.schema import schema_of, signature
+from repro.model.terms import Variable
+
+
+@pytest.fixture()
+def two_atom_query():
+    return query(
+        "q",
+        [Variable("City"), Variable("Spot")],
+        [atom("cities", "it", "City"), atom("spots", "City", "Spot", "Score")],
+        [comparison("Score", ">=", 7)],
+    )
+
+
+class TestSafety:
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(QueryError):
+            query("q", [Variable("Nope")], [atom("s", "X")])
+
+    def test_predicate_variables_must_occur_in_body(self):
+        with pytest.raises(QueryError):
+            query("q", [Variable("X")], [atom("s", "X")], [comparison("Y", ">", 1)])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(QueryError):
+            query("q", [], [])
+
+    def test_empty_head_allowed(self):
+        boolean_query = query("q", [], [atom("s", "X")])
+        assert boolean_query.arity == 0
+
+
+class TestAccessors:
+    def test_arity(self, two_atom_query):
+        assert two_atom_query.arity == 2
+
+    def test_body_variables(self, two_atom_query):
+        assert two_atom_query.body_variables == {
+            Variable("City"), Variable("Spot"), Variable("Score")
+        }
+
+    def test_services_with_repeats(self):
+        repeated = query(
+            "q", [Variable("X")], [atom("s", "X"), atom("s", "X")]
+        )
+        assert repeated.services == ("s", "s")
+
+    def test_is_multi_domain(self, two_atom_query):
+        assert two_atom_query.is_multi_domain
+        single = query("q", [Variable("X")], [atom("s", "X")])
+        assert not single.is_multi_domain
+
+    def test_join_variables(self, two_atom_query):
+        assert two_atom_query.join_variables() == {Variable("City")}
+
+    def test_atoms_with_variable(self, two_atom_query):
+        assert two_atom_query.atoms_with_variable(Variable("City")) == (0, 1)
+        assert two_atom_query.atoms_with_variable(Variable("Score")) == (1,)
+
+    def test_predicates_on(self, two_atom_query):
+        ready = two_atom_query.predicates_on(frozenset({Variable("Score")}))
+        assert len(ready) == 1
+        assert two_atom_query.predicates_on(frozenset()) == ()
+
+    def test_str_rendering(self, two_atom_query):
+        text = str(two_atom_query)
+        assert text.startswith("q(City, Spot) :- ")
+        assert "cities('it', City)" in text
+        assert "Score >= 7" in text
+
+
+class TestSchemaValidation:
+    def test_validate_against_schema(self, two_atom_query):
+        schema = schema_of(
+            [
+                signature("cities", ["Country", "City"], ["io"]),
+                signature("spots", ["City", "Spot", "Score"], ["ioo"]),
+            ]
+        )
+        two_atom_query.validate_against(schema)  # should not raise
+
+    def test_validate_detects_arity_mismatch(self, two_atom_query):
+        schema = schema_of(
+            [
+                signature("cities", ["Country"], ["i"]),
+                signature("spots", ["City", "Spot", "Score"], ["ioo"]),
+            ]
+        )
+        with pytest.raises(Exception):
+            two_atom_query.validate_against(schema)
+
+
+class TestRunningExample:
+    def test_running_example_shape(self):
+        from repro.sources.travel import running_example_query
+
+        q = running_example_query()
+        assert q.is_multi_domain
+        assert len(q.atoms) == 4
+        assert q.services == ("flight", "hotel", "conf", "weather")
+        assert len(q.predicates) == 4
+        assert Variable("City") in q.join_variables()
+        assert Variable("Start") in q.join_variables()

@@ -1,0 +1,122 @@
+"""Unit tests for the service registry (join methods, selectivities)."""
+
+import pytest
+
+from repro.model.schema import SchemaError, signature
+from repro.services.profile import exact_profile, search_profile
+from repro.services.registry import JoinMethod, RegistryError, ServiceRegistry
+from repro.services.table import TableExactService, TableSearchService
+
+
+def _exact(name, erspi=1.0, tau=1.0):
+    return TableExactService(
+        signature(name, ["A", "B"], ["io"]),
+        exact_profile(erspi=erspi, response_time=tau),
+        [],
+    )
+
+
+def _search(name, chunk=5, tau=1.0, decay=None):
+    return TableSearchService(
+        signature(name, ["A", "B"], ["io"]),
+        search_profile(chunk_size=chunk, response_time=tau, decay=decay),
+        [],
+        score=lambda row: 0.0,
+    )
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        registry = ServiceRegistry()
+        service = _exact("s")
+        registry.register(service)
+        assert registry.service("s") is service
+        assert registry.profile("s").erspi == 1.0
+        assert registry.signature("s").name == "s"
+        assert "s" in registry and len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(_exact("s"))
+        with pytest.raises(SchemaError):
+            registry.register(_exact("s"))
+
+    def test_unknown_lookup(self):
+        with pytest.raises(RegistryError):
+            ServiceRegistry().service("nope")
+
+    def test_schema_view(self):
+        registry = ServiceRegistry()
+        registry.register(_exact("a"))
+        registry.register(_search("b"))
+        schema = registry.schema()
+        assert schema.names == ("a", "b")
+
+
+class TestJoinMethods:
+    def test_explicit_registration_wins(self):
+        registry = ServiceRegistry()
+        registry.register(_search("x"))
+        registry.register(_search("y"))
+        registry.register_join_method("x", "y", JoinMethod.NESTED_LOOP)
+        assert registry.join_method("x", "y") is JoinMethod.NESTED_LOOP
+        assert registry.join_method("y", "x") is JoinMethod.NESTED_LOOP  # symmetric
+
+    def test_default_merge_scan_without_decay(self):
+        # "Since no decay is known for either hotel or flight,
+        # merge-scan is used" (Example 5.1).
+        registry = ServiceRegistry()
+        registry.register(_search("flight", chunk=25))
+        registry.register(_search("hotel", chunk=5))
+        assert registry.join_method("flight", "hotel") is JoinMethod.MERGE_SCAN
+
+    def test_default_nested_loop_with_one_quick_side(self):
+        registry = ServiceRegistry()
+        registry.register(_search("blast", chunk=10, decay=15))  # tops out in 2 fetches
+        registry.register(_search("deep", chunk=10))
+        assert registry.join_method("blast", "deep") is JoinMethod.NESTED_LOOP
+
+    def test_default_nested_loop_with_selective_exact_side(self):
+        registry = ServiceRegistry()
+        registry.register(_exact("lookup", erspi=0.5))
+        registry.register(_search("deep", chunk=10))
+        assert registry.join_method("lookup", "deep") is JoinMethod.NESTED_LOOP
+
+    def test_two_selective_sides_use_merge_scan(self):
+        registry = ServiceRegistry()
+        registry.register(_exact("a", erspi=0.5))
+        registry.register(_exact("b", erspi=0.5))
+        assert registry.join_method("a", "b") is JoinMethod.MERGE_SCAN
+
+
+class TestJoinSelectivities:
+    def test_default_selectivity(self):
+        registry = ServiceRegistry()
+        assert registry.join_selectivity("a", "b") == pytest.approx(0.01)
+
+    def test_registered_selectivity(self):
+        registry = ServiceRegistry()
+        registry.register_join_selectivity("a", "b", 0.5)
+        assert registry.join_selectivity("b", "a") == pytest.approx(0.5)
+
+    def test_invalid_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceRegistry().register_join_selectivity("a", "b", 1.5)
+
+
+class TestResetAll:
+    def test_reset_clears_remote_caches(self):
+        from repro.model.schema import AccessPattern
+
+        registry = ServiceRegistry()
+        service = TableExactService(
+            signature("s", ["A", "B"], ["io"]),
+            exact_profile(erspi=1, response_time=5.0),
+            [("a", 1)],
+            remote_caching=True,
+        )
+        registry.register(service)
+        service.invoke(AccessPattern("io"), {0: "a"})
+        registry.reset_all()
+        fresh = service.invoke(AccessPattern("io"), {0: "a"})
+        assert fresh.latency == pytest.approx(5.0)

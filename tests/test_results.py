@@ -1,0 +1,84 @@
+"""Unit tests for result rows and ranking composition."""
+
+from repro.execution.results import ResultTable, Row, compose_ranking
+from repro.model.terms import Variable
+
+
+def _row(ranks=(), **bindings):
+    return Row(
+        bindings={Variable(k): v for k, v in bindings.items()},
+        ranks=tuple(ranks),
+    )
+
+
+class TestRow:
+    def test_value(self):
+        row = _row(City="Roma")
+        assert row.value(Variable("City")) == "Roma"
+
+    def test_rank_key_sums_indexes(self):
+        row = _row(ranks=[("a", 2), ("b", 5)])
+        assert row.rank_key() == 7
+
+    def test_with_rank_appends(self):
+        row = _row(ranks=[("a", 1)]).with_rank("b", 4)
+        assert row.ranks == (("a", 1), ("b", 4))
+
+    def test_merge_compatible(self):
+        merged = _row(City="Roma", F=1).merged_with(_row(City="Roma", H=2))
+        assert merged is not None
+        assert merged.bindings[Variable("F")] == 1
+        assert merged.bindings[Variable("H")] == 2
+
+    def test_merge_conflicting_returns_none(self):
+        assert _row(City="Roma").merged_with(_row(City="Milano")) is None
+
+    def test_merge_concatenates_ranks(self):
+        merged = _row(ranks=[("a", 1)], A=1).merged_with(_row(ranks=[("b", 2)], B=2))
+        assert merged.ranks == (("a", 1), ("b", 2))
+
+    def test_project(self):
+        row = _row(City="Roma", Price=90)
+        assert row.project([Variable("Price"), Variable("City")]) == (90, "Roma")
+
+
+class TestComposeRanking:
+    def test_orders_by_aggregate_rank(self):
+        rows = [_row(ranks=[("a", 3)], X=1), _row(ranks=[("a", 1)], X=2)]
+        ordered = compose_ranking(rows)
+        assert [r.bindings[Variable("X")] for r in ordered] == [2, 1]
+
+    def test_stable_on_ties(self):
+        rows = [_row(ranks=[("a", 1)], X=1), _row(ranks=[("a", 1)], X=2)]
+        ordered = compose_ranking(rows)
+        assert [r.bindings[Variable("X")] for r in ordered] == [1, 2]
+
+    def test_dominated_rows_never_precede(self):
+        better = _row(ranks=[("a", 0), ("b", 1)], X="good")
+        worse = _row(ranks=[("a", 2), ("b", 3)], X="bad")
+        ordered = compose_ranking([worse, better])
+        assert ordered[0].bindings[Variable("X")] == "good"
+
+
+class TestResultTable:
+    def test_top_and_tuples(self):
+        head = (Variable("City"),)
+        table = ResultTable(
+            head=head,
+            rows=[_row(City="Roma"), _row(City="Milano"), _row(City="Paris")],
+        )
+        assert len(table) == 3
+        assert table.tuples(2) == [("Roma",), ("Milano",)]
+        assert len(table.top(2)) == 2
+
+    def test_render_contains_header_and_rows(self):
+        head = (Variable("City"), Variable("Price"))
+        table = ResultTable(head=head, rows=[_row(City="Roma", Price=90)])
+        text = table.render()
+        assert "City" in text and "Price" in text
+        assert "Roma" in text and "90" in text
+        assert text.splitlines()[1].startswith("-")
+
+    def test_render_empty(self):
+        table = ResultTable(head=(Variable("City"),))
+        assert "City" in table.render()
