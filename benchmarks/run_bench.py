@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Run the benchmark suite that tier-1 test runs exclude.
+
+Tier-1 (`PYTHONPATH=src python -m pytest -x -q`) deselects everything
+marked ``bench`` so the edit-test loop stays fast; CI and developers
+run the benches explicitly through this entry point::
+
+    python benchmarks/run_bench.py                 # all benchmarks
+    python benchmarks/run_bench.py -k hotpaths     # one bench module
+    python benchmarks/run_bench.py --benchmark-only
+
+Regenerated artifacts (paper tables/figures and the
+``BENCH_hotpaths.json`` perf trajectory) land in ``benchmarks/out/``.
+Extra arguments are forwarded to pytest verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str]) -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(REPO_ROOT / "benchmarks"),
+        # The command line overrides the tier-1 `-m "not bench"` addopts.
+        "-m",
+        "bench",
+        "-q",
+        *argv,
+    ]
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

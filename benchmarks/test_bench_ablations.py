@@ -28,6 +28,8 @@ from repro.plans.builder import PlanBuilder
 from repro.services.registry import JoinMethod
 from repro.sources.travel import alpha1_patterns, poset_optimal
 
+pytestmark = pytest.mark.bench
+
 K = 10
 
 

@@ -31,6 +31,8 @@ from repro.services.profile import exact_profile, search_profile
 from repro.services.registry import ServiceRegistry
 from repro.services.table import TableExactService, TableSearchService
 
+pytestmark = pytest.mark.bench
+
 K = 8
 
 

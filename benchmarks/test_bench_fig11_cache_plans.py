@@ -26,6 +26,8 @@ from repro.sources.travel import (
     poset_serial,
 )
 
+pytestmark = pytest.mark.bench
+
 PAPER_CALLS = {
     ("no-cache", "S"): (71, 16, 284),
     ("no-cache", "P"): (71, 71, 71),

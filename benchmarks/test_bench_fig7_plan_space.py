@@ -24,6 +24,8 @@ from repro.sources.travel import (
     poset_serial,
 )
 
+pytestmark = pytest.mark.bench
+
 K = 10
 
 

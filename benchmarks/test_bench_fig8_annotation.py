@@ -24,6 +24,8 @@ from repro.sources.travel import (
     poset_optimal,
 )
 
+pytestmark = pytest.mark.bench
+
 PAPER_VALUES = {
     # atom index: (t_in as calls, t_out)
     CONF_ATOM: (1, 20),

@@ -1,0 +1,140 @@
+"""Hot-path before/after throughput trajectory (``BENCH_hotpaths.json``).
+
+Measures the two hot paths overhauled by the search-memoization +
+execution fast-path subsystem and records a machine-readable
+before/after trajectory so future PRs can track the perf curve:
+
+* **optimizer states/sec** — branch-and-bound search over the Figure 7
+  plan space (the running example), unmemoized ("before") vs. with the
+  persistent :class:`~repro.optimizer.memo.PlanMemo` under a
+  repeated-traffic workload ("after").  The memoized workload must
+  also make at least 3x fewer ``annotate`` calls, witnessed by the
+  ``SearchStats`` memo counters;
+* **join tuples/sec** — candidate cells consumed per second by the
+  reference full-plane :func:`~repro.execution.joins.execute_join`
+  ("before") vs. the hash-partitioned
+  :func:`~repro.execution.joins.execute_join_hashed` ("after") on a
+  randomized plane, with identical output required.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.costs.time_cost import ExecutionTimeMetric
+from repro.execution.joins import execute_join, execute_join_hashed
+from repro.execution.results import Row
+from repro.model.terms import Variable
+from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.services.registry import JoinMethod
+
+pytestmark = pytest.mark.bench
+
+#: Optimizations of the same query per workload: the repeated-traffic
+#: scenario the memo targets (profiles stay put, queries repeat).
+WORKLOAD_RUNS = 3
+
+JOIN_SIDE = 400
+JOIN_KEYS = 40
+
+
+def _optimizer_workload(registry, query, memoize: bool) -> dict:
+    optimizer = Optimizer(
+        registry, ExecutionTimeMetric(), OptimizerConfig(memoize=memoize)
+    )
+    states = 0
+    annotate_calls = 0
+    memo_hits = 0
+    cost = None
+    start = time.perf_counter()
+    for _ in range(WORKLOAD_RUNS):
+        result = optimizer.optimize(query)
+        states += result.stats.topology_states_explored
+        annotate_calls += result.stats.annotate_calls
+        memo_hits += result.stats.memo_hits
+        cost = result.cost
+    elapsed = time.perf_counter() - start
+    return {
+        "runs": WORKLOAD_RUNS,
+        "topology_states": states,
+        "annotate_calls": annotate_calls,
+        "memo_hits": memo_hits,
+        "cost": cost,
+        "elapsed_s": round(elapsed, 6),
+        "states_per_s": round(states / elapsed, 1),
+    }
+
+
+def _join_inputs() -> tuple[list[Row], list[Row]]:
+    key, left_var, right_var = Variable("K"), Variable("L"), Variable("R")
+    left = [
+        Row(bindings={key: i % JOIN_KEYS, left_var: i}) for i in range(JOIN_SIDE)
+    ]
+    right = [
+        Row(bindings={key: (j * 7) % JOIN_KEYS, right_var: j})
+        for j in range(JOIN_SIDE)
+    ]
+    return left, right
+
+
+def _join_throughput(join, method, left, right) -> dict:
+    start = time.perf_counter()
+    rows = join(method, left, right)
+    elapsed = time.perf_counter() - start
+    cells = len(left) * len(right)
+    return {
+        "plane_cells": cells,
+        "rows_out": len(rows),
+        "elapsed_s": round(elapsed, 6),
+        "tuples_per_s": round(cells / elapsed, 1),
+    }
+
+
+class TestHotpathTrajectory:
+    def test_write_bench_hotpaths(self, registry, travel_query, out_dir):
+        before_opt = _optimizer_workload(registry, travel_query, memoize=False)
+        after_opt = _optimizer_workload(registry, travel_query, memoize=True)
+        assert after_opt["cost"] == before_opt["cost"]
+        # Acceptance: >= 3x fewer annotate calls on the Figure 7 space.
+        assert after_opt["annotate_calls"] * 3 <= before_opt["annotate_calls"]
+
+        left, right = _join_inputs()
+        joins = {}
+        for method in (JoinMethod.NESTED_LOOP, JoinMethod.MERGE_SCAN):
+            before_join = _join_throughput(execute_join, method, left, right)
+            after_join = _join_throughput(execute_join_hashed, method, left, right)
+            assert after_join["rows_out"] == before_join["rows_out"]
+            joins[method.value] = {"before": before_join, "after": after_join}
+
+        payload = {
+            "bench": "hotpaths",
+            "workload": {
+                "optimizer": "Figure 7 plan space (running example), "
+                f"{WORKLOAD_RUNS} repeated optimizations",
+                "join": f"{JOIN_SIDE}x{JOIN_SIDE} plane, {JOIN_KEYS} join keys",
+            },
+            "optimizer_states_per_s": {"before": before_opt, "after": after_opt},
+            "join_tuples_per_s": joins,
+        }
+        (out_dir / "BENCH_hotpaths.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+
+    def test_memoized_workload_matches_unmemoized(self, registry, travel_query):
+        before = _optimizer_workload(registry, travel_query, memoize=False)
+        after = _optimizer_workload(registry, travel_query, memoize=True)
+        assert before["cost"] == after["cost"]
+        assert before["topology_states"] == after["topology_states"]
+
+    def test_bench_optimizer_memoized(self, benchmark, registry, travel_query):
+        benchmark(_optimizer_workload, registry, travel_query, True)
+
+    def test_bench_join_hashed(self, benchmark):
+        left, right = _join_inputs()
+        result = benchmark(
+            execute_join_hashed, JoinMethod.MERGE_SCAN, left, right
+        )
+        assert result == execute_join(JoinMethod.MERGE_SCAN, left, right)

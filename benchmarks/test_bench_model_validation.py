@@ -21,6 +21,8 @@ from repro.plans.builder import PlanBuilder
 from repro.plans.render import summarize
 from repro.sources.travel import alpha1_patterns
 
+pytestmark = pytest.mark.bench
+
 K = 10
 
 

@@ -20,6 +20,8 @@ from repro.sources.travel import (
     poset_serial,
 )
 
+pytestmark = pytest.mark.bench
+
 
 def _serial_plan(registry, travel_query):
     return PlanBuilder(travel_query, registry).build(

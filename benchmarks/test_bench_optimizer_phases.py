@@ -15,6 +15,8 @@ from repro.costs.time_cost import ExecutionTimeMetric
 from repro.execution.cache import CacheSetting
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
 
+pytestmark = pytest.mark.bench
+
 K = 10
 
 

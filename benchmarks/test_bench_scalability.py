@@ -16,6 +16,8 @@ from repro.execution.cache import CacheSetting
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
 from repro.sources.synthetic import generate_workload
 
+pytestmark = pytest.mark.bench
+
 SIZES = (2, 3, 4)
 ENRICHMENTS = 2  # lookup services that open up the topology space
 

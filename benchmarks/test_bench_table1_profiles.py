@@ -17,6 +17,8 @@ from repro.model.schema import AccessPattern
 from repro.services.profiler import ServiceProfiler, format_profile_table
 from repro.sources.world import OTHER_TOPIC_SIZES, city_dates
 
+pytestmark = pytest.mark.bench
+
 
 def _profile_all(registry, world):
     registry.reset_all()  # probe against cold remote-side caches

@@ -17,6 +17,7 @@ from repro.execution.engine import (
 )
 from repro.execution.joins import (
     execute_join,
+    execute_join_hashed,
     is_order_rank_consistent,
     join_order,
     merge_scan_order,
@@ -44,6 +45,7 @@ __all__ = [
     "ServiceCallStats",
     "compose_ranking",
     "execute_join",
+    "execute_join_hashed",
     "execute_plan",
     "is_order_rank_consistent",
     "join_order",

@@ -32,12 +32,12 @@ aggregates them according to the scheduling mode —
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Mapping, Sequence
 
 from repro.execution.cache import CacheSetting, LogicalCache, make_cache
-from repro.execution.joins import execute_join
+from repro.execution.joins import execute_join_hashed
 from repro.execution.results import ResultTable, Row, compose_ranking
 from repro.execution.stats import ExecutionStats
 from repro.model.terms import Constant, Variable
@@ -72,7 +72,7 @@ class ExecutionResult:
     stats: ExecutionStats
     elapsed: float
     k: int | None = None
-    node_output_sizes: dict[str, int] = None  # type: ignore[assignment]
+    node_output_sizes: dict[str, int] = field(default_factory=dict)
 
     @property
     def rows(self) -> list[Row]:
@@ -192,11 +192,27 @@ class ExecutionEngine:
             rng.shuffle(feed)
         service = self._registry.service(node.service_name)
         service_stats = stats.service(node.service_name)
+        # Per-node layout, hoisted out of the per-tuple loop: the input
+        # positions (with constants resolved) and the output terms are
+        # the same for every row, and building the cache key from the
+        # position-sorted spec replaces a sort per incoming tuple.
+        input_spec, output_terms = self._node_layout(node)
+        pattern_code = node.pattern.code
         latencies: list[float] = []
         produced: list[Row] = []
         for row in feed:
-            inputs = self._input_values(node, row)
-            input_key = (node.pattern.code, tuple(sorted(inputs.items(), key=str)))
+            bindings = row.bindings
+            inputs: dict[int, object] = {}
+            for position, constant_value, term in input_spec:
+                if term is None:
+                    inputs[position] = constant_value
+                else:
+                    if term not in bindings:
+                        raise ExecutionError(
+                            f"unbound input variable {term} at {node.label}"
+                        )
+                    inputs[position] = bindings[term]
+            input_key = (pattern_code, tuple(inputs.items()))
             pages: list = []
             issued_remote = False
             for page in range(node.fetches):
@@ -219,7 +235,7 @@ class ExecutionEngine:
             for result in pages:
                 ranks = result.ranks or (None,) * len(result.tuples)
                 for values, rank in zip(result.tuples, ranks):
-                    merged = self._bind_outputs(node, row, values)
+                    merged = self._bind_outputs(row, values, output_terms)
                     if merged is None:
                         continue
                     if rank is not None:
@@ -229,45 +245,64 @@ class ExecutionEngine:
         node_busy = self._node_busy(latencies)
         return produced, node_busy
 
-    def _input_values(self, node: ServiceNode, row: Row) -> dict[int, object]:
+    def _node_layout(
+        self, node: ServiceNode
+    ) -> tuple[list[tuple[int, object, Variable | None]], list]:
+        """Resolve a service node's term layout once per execution.
+
+        Returns the input spec — ``(position, constant value, None)``
+        for constant inputs, ``(position, None, variable)`` for bound
+        ones, in ascending position order — and the full term list used
+        to bind output tuples.
+        """
         assert node.atom is not None and node.pattern is not None
-        inputs: dict[int, object] = {}
+        input_spec: list[tuple[int, object, Variable | None]] = []
         for position in node.pattern.input_positions:
             term = node.atom.term_at(position)
             if isinstance(term, Constant):
-                inputs[position] = term.value
+                input_spec.append((position, term.value, None))
             else:
-                if term not in row.bindings:
-                    raise ExecutionError(
-                        f"unbound input variable {term} at {node.label}"
-                    )
-                inputs[position] = row.bindings[term]
-        return inputs
+                input_spec.append((position, None, term))
+        output_terms = [
+            node.atom.term_at(position) for position in range(node.atom.arity)
+        ]
+        return input_spec, output_terms
 
-    def _bind_outputs(
-        self, node: ServiceNode, row: Row, values: tuple
-    ) -> Row | None:
+    @staticmethod
+    def _bind_outputs(row: Row, values: tuple, terms: list) -> Row | None:
         """Extend *row* with a service result tuple; None on mismatch.
 
         Output positions holding constants act as selections; output
         variables already bound upstream must agree (equi-join on the
-        pipe), and repeated variables within the atom must unify.
+        pipe), and repeated variables within the atom must unify.  A
+        tuple that binds nothing new reuses the row's mapping instead
+        of copying it — the common case when every output variable was
+        already bound upstream.
         """
-        assert node.atom is not None and node.pattern is not None
-        bindings = dict(row.bindings)
-        for position in range(node.atom.arity):
-            term = node.atom.term_at(position)
-            value = values[position]
+        if len(values) < len(terms):
+            raise ExecutionError(
+                f"service returned a tuple of arity {len(values)}, "
+                f"expected {len(terms)}"
+            )
+        bindings = row.bindings
+        fresh: dict | None = None
+        for term, value in zip(terms, values):
             if isinstance(term, Constant):
                 if value != term.value:
                     return None
-                continue
-            if term in bindings:
+            elif fresh is not None and term in fresh:
+                if fresh[term] != value:
+                    return None
+            elif term in bindings:
                 if bindings[term] != value:
                     return None
+            elif fresh is None:
+                fresh = {term: value}
             else:
-                bindings[term] = value
-        return Row(bindings=bindings, ranks=row.ranks)
+                fresh[term] = value
+        if fresh is None:
+            return Row(bindings=bindings, ranks=row.ranks)
+        return Row(bindings={**bindings, **fresh}, ranks=row.ranks)
 
     def _run_join_node(
         self,
@@ -280,7 +315,7 @@ class ExecutionEngine:
             raise ExecutionError(f"join {node.label} must have two predecessors")
         left = outputs[predecessors[0].node_id]
         right = outputs[predecessors[1].node_id]
-        return execute_join(node.method, left, right, node.predicates)
+        return execute_join_hashed(node.method, left, right, node.predicates)
 
     def _run_output_node(
         self,
@@ -331,6 +366,3 @@ def execute_plan(
     """One-call convenience wrapper around :class:`ExecutionEngine`."""
     engine = ExecutionEngine(registry, cache_setting=cache_setting, mode=mode)
     return engine.execute(plan, head=head, k=k)
-
-
-_UNUSED_NODE_TYPE: tuple[type[PlanNode], ...] = (PlanNode,)

@@ -18,14 +18,21 @@ partial orders* of the two inputs: if pair ``(i, j)`` componentwise
 dominates ``(i', j')`` (``i <= i'``, ``j <= j'``, at least one strict),
 it is emitted first.  This is the property tested by the hypothesis
 suite.
+
+:func:`execute_join` scans the full plane and is kept as the reference
+oracle; :func:`execute_join_hashed` partitions the plane by the
+shared-variable key first (only same-key cells can join) and visits
+the surviving cells in the same global rank order, so the engine pays
+per *matching* pair instead of per cell.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.execution.results import Row
 from repro.model.predicates import Comparison
+from repro.model.terms import Variable
 from repro.services.registry import JoinMethod
 
 
@@ -62,13 +69,44 @@ def is_order_rank_consistent(order: Sequence[tuple[int, int]]) -> bool:
     True iff whenever cell ``a`` componentwise dominates cell ``b``
     (``a <= b`` in both coordinates, one strictly), ``a`` appears
     before ``b``.
+
+    Runs one ``O(n log n)`` staircase sweep instead of comparing all
+    cell pairs: cells are visited in emission order while a Pareto
+    frontier of the maximal cells seen so far is maintained, sorted by
+    ascending ``i`` (hence strictly descending ``j``).  A violation is
+    exactly a new cell lying weakly below-left of an already-emitted
+    one, which only the frontier can witness.
     """
     position = {cell: index for index, cell in enumerate(order)}
-    for (i, j), index in position.items():
-        for (p, q), other in position.items():
-            dominates = p <= i and q <= j and (p < i or q < j)
-            if dominates and other > index:
-                return False
+    xs: list[int] = []  # frontier i-coordinates, ascending
+    ys: list[int] = []  # matching j-coordinates, strictly descending
+    for i, j in sorted(position, key=position.__getitem__):
+        # The frontier cell with the smallest i' >= i carries the
+        # largest j' among all emitted cells with i' >= i.
+        lo, hi = 0, len(xs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if xs[mid] < i:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(xs) and ys[lo] >= j:
+            # Some earlier distinct cell is >= (i, j) componentwise:
+            # the new cell dominates it yet is emitted later.
+            return False
+        # Frontier cells covered by the new one ((i', j') <= (i, j))
+        # form a contiguous run ending just before the insertion point.
+        start, end = 0, lo
+        while start < end:
+            mid = (start + end) // 2
+            if ys[mid] <= j:
+                end = mid
+            else:
+                start = mid + 1
+        del xs[start:lo]
+        del ys[start:lo]
+        xs.insert(start, i)
+        ys.insert(start, j)
     return True
 
 
@@ -89,6 +127,82 @@ def execute_join(
     """
     output: list[Row] = []
     for i, j in join_order(method, len(left), len(right)):
+        merged = left[i].merged_with(right[j])
+        if merged is None:
+            continue
+        if all(p.holds(merged.bindings) for p in predicates):
+            output.append(merged)
+    return output
+
+
+def _shared_key_variables(
+    left: Sequence[Row], right: Sequence[Row]
+) -> tuple[Variable, ...]:
+    """Variables bound in *every* row of both inputs, deterministically.
+
+    Only such variables can partition the plane: a row lacking a
+    variable would have to appear in every bucket.  Variables bound on
+    one side only never cause a merge conflict, so ignoring them is
+    safe — the per-pair merge still checks the full bindings.
+    """
+
+    def common(rows: Iterable[Row]) -> set[Variable]:
+        iterator = iter(rows)
+        shared = set(next(iterator).bindings.keys())
+        for row in iterator:
+            if not shared:
+                break
+            shared &= row.bindings.keys()
+        return shared
+
+    return tuple(sorted(common(left) & common(right), key=lambda v: v.name))
+
+
+def execute_join_hashed(
+    method: JoinMethod,
+    left: Sequence[Row],
+    right: Sequence[Row],
+    predicates: Sequence[Comparison] = (),
+) -> list[Row]:
+    """Hash-accelerated :func:`execute_join` with identical results.
+
+    Instead of scanning the whole ``n × m`` candidate plane, both sides
+    are bucketed once by their shared-variable key; only cells whose
+    key values agree on both axes can survive the natural-join merge,
+    so all other cells are skipped without being visited.  The
+    surviving cells are then traversed in the strategy's global rank
+    order (NL: lexicographic ``(i, j)``; MS: diagonal ``(i + j, i)``) —
+    the exact relative order :func:`join_order` would visit them in —
+    which preserves the documented domination property across buckets,
+    not just inside each one.
+
+    Falls back to the reference scan when no variable is shared by all
+    rows of both sides, or when a binding value is unhashable.  The
+    reference :func:`execute_join` is kept unchanged as the oracle for
+    the hypothesis suite.
+    """
+    if not left or not right:
+        return []
+    key_variables = _shared_key_variables(left, right)
+    if not key_variables:
+        return execute_join(method, left, right, predicates)
+    try:
+        right_buckets: dict[tuple, list[int]] = {}
+        for j, row in enumerate(right):
+            key = tuple(row.bindings[v] for v in key_variables)
+            right_buckets.setdefault(key, []).append(j)
+        cells: list[tuple[int, int]] = []
+        for i, row in enumerate(left):
+            key = tuple(row.bindings[v] for v in key_variables)
+            matches = right_buckets.get(key)
+            if matches:
+                cells.extend((i, j) for j in matches)
+    except TypeError:  # unhashable binding value: cannot bucket
+        return execute_join(method, left, right, predicates)
+    if method is not JoinMethod.NESTED_LOOP:
+        cells.sort(key=lambda cell: (cell[0] + cell[1], cell[0]))
+    output: list[Row] = []
+    for i, j in cells:
         merged = left[i].merged_with(right[j])
         if merged is None:
             continue

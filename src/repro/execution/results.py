@@ -12,6 +12,7 @@ rank-aware join strategies).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -38,26 +39,44 @@ class Row:
         return Row(bindings=self.bindings, ranks=self.ranks + ((node_id, rank),))
 
     def merged_with(self, other: "Row") -> "Row | None":
-        """Natural-join merge: None when shared variables disagree."""
-        merged = dict(self.bindings)
+        """Natural-join merge: None when shared variables disagree.
+
+        Conflicts are detected before anything is copied, and when the
+        other row adds no new variables (branches recombining after a
+        fork bind the same set) this row's mapping is reused as-is.
+        """
+        mine = self.bindings
+        fresh: dict | None = None
         for variable, value in other.bindings.items():
-            if variable in merged and merged[variable] != value:
-                return None
-            merged[variable] = value
-        return Row(bindings=merged, ranks=self.ranks + other.ranks)
+            if variable in mine:
+                if mine[variable] != value:
+                    return None
+            elif fresh is None:
+                fresh = {variable: value}
+            else:
+                fresh[variable] = value
+        if fresh is None:
+            return Row(bindings=mine, ranks=self.ranks + other.ranks)
+        return Row(bindings={**mine, **fresh}, ranks=self.ranks + other.ranks)
 
     def project(self, head: Sequence[Variable]) -> tuple:
         """The output tuple for the query head."""
         return tuple(self.bindings[v] for v in head)
 
 
-def compose_ranking(rows: Sequence[Row]) -> list[Row]:
+def compose_ranking(rows: Sequence[Row], k: int | None = None) -> list[Row]:
     """Order *rows* by aggregated rank (stable on ties).
 
     The composed ranking is consistent with each service's partial
     order: a row that improves in every partial rank cannot be placed
     after one it dominates.
+
+    When *k* is known, only the top-k rows are materialized via a heap
+    selection (``heapq.nsmallest`` is stable: equivalent to sorting and
+    truncating), which skips the full sort on large answer sets.
     """
+    if k is not None and 0 <= k < len(rows):
+        return heapq.nsmallest(k, rows, key=Row.rank_key)
     return sorted(rows, key=Row.rank_key)
 
 

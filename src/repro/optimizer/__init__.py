@@ -11,6 +11,7 @@ from repro.optimizer.fetches import (
     greedy_assignment,
     square_assignment,
 )
+from repro.optimizer.memo import PlanEntry, PlanMemo, bound_key, plan_key
 from repro.optimizer.optimizer import (
     OptimizedPlan,
     Optimizer,
@@ -48,7 +49,11 @@ __all__ = [
     "OptimizerConfig",
     "PatternPhaseResult",
     "PatternSequence",
+    "PlanEntry",
+    "PlanMemo",
     "SearchStats",
+    "bound_key",
+    "plan_key",
     "TopologyEnumerator",
     "TopologyHeuristics",
     "assign_fetches",

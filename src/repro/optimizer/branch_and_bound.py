@@ -22,7 +22,14 @@ Payload = TypeVar("Payload")
 
 @dataclass
 class SearchStats:
-    """Counters describing one optimization run."""
+    """Counters describing one optimization run.
+
+    The ``memo_*`` counters trace the search-memoization subsystem
+    (:mod:`repro.optimizer.memo`): bound entries cache partial lower
+    bounds per topology state, plan entries cache whole phase-2/3
+    evaluations.  ``annotate_calls`` counts the plan annotations the
+    optimizer actually performed — every memo hit avoids at least one.
+    """
 
     pattern_sequences_considered: int = 0
     pattern_sequences_pruned: int = 0
@@ -31,6 +38,21 @@ class SearchStats:
     plans_completed: int = 0
     fetch_evaluations: int = 0
     incumbent_updates: int = 0
+    annotate_calls: int = 0
+    memo_bound_hits: int = 0
+    memo_bound_misses: int = 0
+    memo_plan_hits: int = 0
+    memo_plan_misses: int = 0
+
+    @property
+    def memo_hits(self) -> int:
+        """Total memo hits (bounds and completed plans)."""
+        return self.memo_bound_hits + self.memo_plan_hits
+
+    @property
+    def memo_misses(self) -> int:
+        """Total memo misses (bounds and completed plans)."""
+        return self.memo_bound_misses + self.memo_plan_misses
 
     def summary(self) -> str:
         """One-line human-readable rendering of the counters."""
@@ -40,7 +62,10 @@ class SearchStats:
             f" topology states={self.topology_states_explored}"
             f" (pruned {self.topology_states_pruned}),"
             f" plans completed={self.plans_completed},"
-            f" incumbent updates={self.incumbent_updates}"
+            f" incumbent updates={self.incumbent_updates},"
+            f" annotate calls={self.annotate_calls},"
+            f" memo hits={self.memo_hits}"
+            f" (misses {self.memo_misses})"
         )
 
 

@@ -1,0 +1,145 @@
+"""Search memoization for the branch-and-bound optimizer.
+
+The three-phase search re-derives a full sub-query, sub-plan, and
+annotation for every explored topology state, and re-evaluates every
+completed plan from scratch — even though the result only depends on
+the *placed atoms' access patterns* and the *precedence closure*, not
+on how the search reached the state.  Under the heavy repeated traffic
+the system targets, the same queries are optimized again and again
+while the service profiles stay put, so almost all of that work is
+redundant.
+
+:class:`PlanMemo` caches both layers behind content-addressed keys:
+
+* **partial bounds** — ``_partial_lower_bound`` values, keyed by the
+  placed atoms with their pattern codes plus the precedence closure
+  (:func:`bound_key`).  The key deliberately ignores the patterns of
+  *unplaced* atoms, so pattern sequences that agree on a placed subset
+  share entries already within a single run;
+* **completed plans** — the full phase-2/3 evaluation of a topology
+  (built plan, fetch assignment, annotation, cost), keyed by the whole
+  pattern sequence plus the closure (:func:`plan_key`).  This also
+  covers the heuristic-seeding pass: the selective/parallel seed
+  posets are re-reached by the exhaustive enumeration and would
+  otherwise be evaluated twice per pattern sequence.
+
+The memo is owned by an :class:`~repro.optimizer.optimizer.Optimizer`
+instance and persists across :meth:`optimize` calls; it is reset
+automatically when a *different* query is optimized.  Cached values
+are only valid while the registry's service profiles are unchanged —
+callers that mutate profiles must use a fresh optimizer or call
+:meth:`PlanMemo.clear`.
+
+Memoization never changes a search outcome: a hit returns the exact
+float/payload computed on the original miss, so costs, incumbent
+updates, and pruning decisions are bit-identical to the unmemoized
+search (tested over every benchmark query profile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Sequence, TypeVar
+
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import AccessPattern
+
+#: Sentinel distinguishing "not cached" from cached ``None`` (a cached
+#: ``PlanError`` outcome is as valuable as a cached number).
+MISSING = object()
+
+#: Placed atoms with their pattern codes, plus the precedence closure.
+BoundKey = tuple[tuple[tuple[int, str], ...], frozenset[tuple[int, int]]]
+
+#: Full pattern-code sequence plus the precedence closure.
+PlanKey = tuple[tuple[str, ...], frozenset[tuple[int, int]]]
+
+Payload = TypeVar("Payload")
+
+
+def bound_key(
+    patterns: Sequence[AccessPattern],
+    placed: frozenset[int],
+    closure: frozenset[tuple[int, int]],
+) -> BoundKey:
+    """Memo key for a partial lower bound.
+
+    Only the placed atoms' patterns matter: the sub-plan of a state is
+    built from the placed atoms alone, so two pattern sequences that
+    agree there share the bound even if they diverge elsewhere.
+    """
+    return (
+        tuple((index, patterns[index].code) for index in sorted(placed)),
+        closure,
+    )
+
+
+def plan_key(
+    patterns: Sequence[AccessPattern],
+    closure: frozenset[tuple[int, int]],
+) -> PlanKey:
+    """Memo key for a fully evaluated plan topology."""
+    return (tuple(pattern.code for pattern in patterns), closure)
+
+
+@dataclass(frozen=True)
+class PlanEntry(Generic[Payload]):
+    """Cached outcome of one complete phase-2/3 plan evaluation."""
+
+    cost: float
+    feasible: bool
+    payload: Payload
+
+
+@dataclass
+class PlanMemo(Generic[Payload]):
+    """Memo tables shared across topology states and optimize() calls."""
+
+    _query: ConjunctiveQuery | None = None
+    _bounds: dict[BoundKey, float | None] = field(default_factory=dict)
+    _plans: dict[PlanKey, PlanEntry[Payload]] = field(default_factory=dict)
+
+    def reset_for(self, query: ConjunctiveQuery) -> None:
+        """Keep entries only when re-optimizing the very same query."""
+        if self._query is None or self._query != query:
+            self.clear()
+            self._query = query
+
+    def clear(self) -> None:
+        """Drop every cached entry (profiles changed, new query, ...)."""
+        self._bounds.clear()
+        self._plans.clear()
+        self._query = None
+
+    # -- partial lower bounds -------------------------------------------
+
+    def lookup_bound(self, key: BoundKey) -> object:
+        """Cached bound for *key*: a float, ``None`` (sub-plan failed to
+        build), or :data:`MISSING` when never computed."""
+        return self._bounds.get(key, MISSING)
+
+    def store_bound(self, key: BoundKey, value: float | None) -> None:
+        """Record a computed partial bound (``None`` caches the failure)."""
+        self._bounds[key] = value
+
+    # -- completed plan evaluations -------------------------------------
+
+    def lookup_plan(self, key: PlanKey) -> PlanEntry[Payload] | None:
+        """Cached complete evaluation for *key*, or ``None``."""
+        return self._plans.get(key)
+
+    def store_plan(self, key: PlanKey, entry: PlanEntry[Payload]) -> None:
+        """Record a complete plan evaluation."""
+        self._plans[key] = entry
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def bound_entries(self) -> int:
+        """Number of cached partial bounds."""
+        return len(self._bounds)
+
+    @property
+    def plan_entries(self) -> int:
+        """Number of cached complete evaluations."""
+        return len(self._plans)

@@ -17,7 +17,7 @@ first ``k`` answers under a chosen metric:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.costs.base import CostMetric
 from repro.execution.cache import CacheSetting
@@ -25,6 +25,7 @@ from repro.model.predicates import Comparison
 from repro.model.query import ConjunctiveQuery
 from repro.optimizer.branch_and_bound import Incumbent, SearchStats
 from repro.optimizer.fetches import FetchContext, FetchResult, assign_fetches
+from repro.optimizer.memo import MISSING, PlanEntry, PlanMemo, bound_key, plan_key
 from repro.optimizer.patterns import PatternSequence, select_patterns
 from repro.optimizer.topology import TopologyEnumerator, TopologyState, heuristic_posets
 from repro.plans.annotate import PlanAnnotation, annotate
@@ -44,6 +45,7 @@ class OptimizerConfig:
     most_cogent_only: bool = False
     prune: bool = True
     max_topologies_per_sequence: int | None = None
+    memoize: bool = True
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -99,15 +101,30 @@ class Optimizer:
         self._registry = registry
         self._metric = metric
         self._config = config or OptimizerConfig()
+        # Persists across optimize() calls: under repeated traffic the
+        # same query is re-optimized with unchanged profiles, and the
+        # second run is answered almost entirely from the memo.
+        self._memo: PlanMemo[_Candidate] = PlanMemo()
 
     @property
     def config(self) -> OptimizerConfig:
         """The active configuration."""
         return self._config
 
+    @property
+    def memo(self) -> PlanMemo[_Candidate]:
+        """The search memo (introspection for tests and benchmarks)."""
+        return self._memo
+
+    def clear_memo(self) -> None:
+        """Invalidate cached search results (e.g. profiles changed)."""
+        self._memo.clear()
+
     def optimize(self, query: ConjunctiveQuery) -> OptimizedPlan:
         """Find the best plan for *query* under the configured metric."""
         config = self._config
+        if config.memoize:
+            self._memo.reset_for(query)
         schema = self._registry.schema()
         query.validate_against(schema)
         phase1 = select_patterns(query, schema)
@@ -144,6 +161,12 @@ class Optimizer:
         best = chosen.payload
         if best is None:
             raise PlanError("optimization failed to produce any executable plan")
+        if config.memoize:
+            # The winning candidate's plan object also lives in the memo
+            # (and may have been handed to an earlier caller): give this
+            # caller an exclusive copy so nobody mutates anyone else's
+            # plan (progressive execution grows fetches in place).
+            best = self._materialize(builder, best, stats)
         return OptimizedPlan(
             plan=best.plan,
             annotation=best.annotation,
@@ -216,7 +239,7 @@ class Optimizer:
                 )
                 continue
             if self._config.prune and incumbent.is_set and state[0]:
-                bound = self._partial_lower_bound(query, patterns, state)
+                bound = self._partial_lower_bound(query, patterns, state, stats)
                 if bound is not None and incumbent.prunes(bound):
                     stats.topology_states_pruned += 1
                     continue
@@ -232,9 +255,25 @@ class Optimizer:
         stats: SearchStats,
     ) -> None:
         config = self._config
+        key = None
+        if config.memoize:
+            key = plan_key(patterns, poset.closure())
+            entry = self._memo.lookup_plan(key)
+            if entry is not None:
+                stats.memo_plan_hits += 1
+                if entry.payload is None:
+                    return  # cached PlanError: topology cannot be built
+                stats.plans_completed += 1
+                self._offer_entry(entry, incumbent, stats)
+                return
+            stats.memo_plan_misses += 1
         try:
             plan = builder.build(patterns, poset)
         except PlanError:
+            if key is not None:
+                self._memo.store_plan(
+                    key, PlanEntry(cost=float("inf"), feasible=False, payload=None)
+                )
             return
         context = FetchContext(plan, self._metric, config.cache_setting)
         fetch_result = assign_fetches(
@@ -247,6 +286,7 @@ class Optimizer:
         stats.plans_completed += 1
         context.apply(fetch_result.fetches)
         annotation = annotate(plan, config.cache_setting)
+        stats.annotate_calls += 1
         cost = self._metric.cost(plan, annotation)
         candidate = _Candidate(
             plan=plan,
@@ -255,24 +295,81 @@ class Optimizer:
             poset=poset,
             fetch_result=fetch_result,
         )
-        if not fetch_result.feasible:
-            self._fallback.offer(cost, candidate)
+        entry = PlanEntry(
+            cost=cost, feasible=fetch_result.feasible, payload=candidate
+        )
+        if key is not None:
+            self._memo.store_plan(key, entry)
+        self._offer_entry(entry, incumbent, stats)
+
+    def _offer_entry(
+        self,
+        entry: PlanEntry[_Candidate],
+        incumbent: Incumbent[_Candidate],
+        stats: SearchStats,
+    ) -> None:
+        """Route a (possibly cached) evaluation to incumbent/fallback."""
+        if not entry.feasible:
+            self._fallback.offer(entry.cost, entry.payload)
             return
-        if incumbent.offer(cost, candidate):
+        if incumbent.offer(entry.cost, entry.payload):
             stats.incumbent_updates += 1
+
+    def _materialize(
+        self, builder: PlanBuilder, candidate: _Candidate, stats: SearchStats
+    ) -> _Candidate:
+        """Rebuild the winning candidate on a fresh plan object.
+
+        Cached candidates are shared between the memo and every caller
+        that ever received them; plans are mutable (fetching factors
+        grow during progressive execution), so the returned plan must
+        be this caller's own.  Rebuilding from the candidate's
+        patterns, poset, and fetch vector is deterministic and costs a
+        single build + annotate — negligible against the search.
+        """
+        plan = builder.build(
+            candidate.patterns, candidate.poset, candidate.fetch_result.fetches
+        )
+        annotation = annotate(plan, self._config.cache_setting)
+        stats.annotate_calls += 1
+        return replace(candidate, plan=plan, annotation=annotation)
 
     def _partial_lower_bound(
         self,
         query: ConjunctiveQuery,
         patterns: PatternSequence,
         state: TopologyState,
+        stats: SearchStats,
     ) -> float | None:
         """Cost of the partially constructed plan (fetches at 1).
 
         New atoms are only ever appended after the placed ones, so the
         estimates of the placed nodes never change in any completion:
-        the partial cost is a valid lower bound.
+        the partial cost is a valid lower bound.  Results are memoized
+        on the placed atoms' patterns plus the closure, so states
+        shared between pattern sequences are bounded only once.
         """
+        placed, closure = state
+        key = None
+        if self._config.memoize:
+            key = bound_key(patterns, placed, closure)
+            cached = self._memo.lookup_bound(key)
+            if cached is not MISSING:
+                stats.memo_bound_hits += 1
+                return cached  # type: ignore[return-value]
+            stats.memo_bound_misses += 1
+        value = self._compute_partial_bound(query, patterns, state, stats)
+        if key is not None:
+            self._memo.store_bound(key, value)
+        return value
+
+    def _compute_partial_bound(
+        self,
+        query: ConjunctiveQuery,
+        patterns: PatternSequence,
+        state: TopologyState,
+        stats: SearchStats,
+    ) -> float | None:
         placed, closure = state
         indices = sorted(placed)
         mapping = {atom: position for position, atom in enumerate(indices)}
@@ -301,6 +398,7 @@ class Optimizer:
         except PlanError:
             return None
         annotation = annotate(plan, self._config.cache_setting)
+        stats.annotate_calls += 1
         return self._metric.cost(plan, annotation)
 
     def _pattern_lower_bound(
@@ -340,6 +438,3 @@ def optimize_query(
 def residual_predicates(query: ConjunctiveQuery, plan: QueryPlan) -> tuple[Comparison, ...]:
     """Predicates evaluated only at the plan output (for diagnostics)."""
     return plan.output_node.residual_predicates
-
-
-_UNUSED = field  # keep dataclasses import stable for doc tooling

@@ -5,10 +5,13 @@ from hypothesis import strategies as st
 
 from repro.execution.joins import (
     execute_join,
+    execute_join_hashed,
     is_order_rank_consistent,
     merge_scan_order,
     nested_loop_order,
 )
+from repro.model.predicates import BinaryExpression, Comparison
+from repro.model.terms import Constant
 from repro.execution.results import Row
 from repro.model.terms import Variable
 from repro.services.registry import JoinMethod
@@ -105,3 +108,82 @@ class TestJoinSemantics:
                 for row in produced
             ]
             assert is_order_rank_consistent(emitted)
+
+
+def _keyed_rows(keys, side_name, extra_keys=None):
+    """Rows with a common K plus an occasionally-present second variable."""
+    rows = []
+    for index, key in enumerate(keys):
+        bindings = {Variable("K"): key, Variable(side_name): index}
+        if extra_keys is not None and index < len(extra_keys):
+            bindings[Variable("X")] = extra_keys[index]
+        rows.append(Row(bindings=bindings, ranks=((side_name, index),)))
+    return rows
+
+
+_maybe_extra = st.none() | st.lists(st.integers(0, 1), min_size=0, max_size=6)
+
+
+class TestHashedJoinMatchesReference:
+    """``execute_join_hashed`` vs. the reference oracle (Section 3.3):
+    identical row sets, identical bindings *and ranks*, identical
+    emission order, hence the same domination property."""
+
+    @given(_keys, _keys, _maybe_extra, _maybe_extra)
+    @settings(max_examples=80)
+    def test_identical_rows_and_order(self, lk, rk, lx, rx):
+        left = _keyed_rows(lk, "L", lx)
+        right = _keyed_rows(rk, "R", rx)
+        for method in (JoinMethod.NESTED_LOOP, JoinMethod.MERGE_SCAN):
+            reference = execute_join(method, left, right)
+            hashed = execute_join_hashed(method, left, right)
+            assert [(r.bindings, r.ranks) for r in hashed] == [
+                (r.bindings, r.ranks) for r in reference
+            ]
+
+    @given(_keys, _keys)
+    @settings(max_examples=40)
+    def test_identical_under_predicates(self, lk, rk):
+        left = _keyed_rows(lk, "L")
+        right = _keyed_rows(rk, "R")
+        predicate = Comparison(
+            BinaryExpression("+", Variable("L"), Variable("R")), "<", Constant(5)
+        )
+        for method in (JoinMethod.NESTED_LOOP, JoinMethod.MERGE_SCAN):
+            reference = execute_join(method, left, right, [predicate])
+            hashed = execute_join_hashed(method, left, right, [predicate])
+            assert [r.bindings for r in hashed] == [r.bindings for r in reference]
+
+    @given(st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30)
+    def test_hashed_emission_respects_domination(self, n, m):
+        left = _rows([0] * n, "L")
+        right = _rows([0] * m, "R")
+        for method in (JoinMethod.NESTED_LOOP, JoinMethod.MERGE_SCAN):
+            produced = execute_join_hashed(method, left, right)
+            emitted = [
+                (row.bindings[Variable("L")], row.bindings[Variable("R")])
+                for row in produced
+            ]
+            assert len(emitted) == n * m
+            assert is_order_rank_consistent(emitted)
+
+    def test_no_shared_variables_falls_back(self):
+        left = [Row(bindings={Variable("A"): 1})]
+        right = [Row(bindings={Variable("B"): 2})]
+        result = execute_join_hashed(JoinMethod.MERGE_SCAN, left, right)
+        assert result == execute_join(JoinMethod.MERGE_SCAN, left, right)
+        assert len(result) == 1  # cross product of disjoint bindings
+
+    def test_unhashable_binding_falls_back(self):
+        left = [Row(bindings={Variable("K"): [1, 2], Variable("L"): 0})]
+        right = [Row(bindings={Variable("K"): [1, 2], Variable("R"): 0})]
+        result = execute_join_hashed(JoinMethod.NESTED_LOOP, left, right)
+        assert result == execute_join(JoinMethod.NESTED_LOOP, left, right)
+        assert len(result) == 1
+
+    def test_empty_sides(self):
+        assert execute_join_hashed(JoinMethod.MERGE_SCAN, [], []) == []
+        row = Row(bindings={Variable("K"): 1})
+        assert execute_join_hashed(JoinMethod.NESTED_LOOP, [row], []) == []
+        assert execute_join_hashed(JoinMethod.MERGE_SCAN, [], [row]) == []

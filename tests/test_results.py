@@ -59,6 +59,16 @@ class TestComposeRanking:
         ordered = compose_ranking([worse, better])
         assert ordered[0].bindings[Variable("X")] == "good"
 
+    def test_top_k_heap_path_matches_full_sort(self):
+        rows = [
+            _row(ranks=[("a", rank)], X=index)
+            for index, rank in enumerate([5, 1, 3, 1, 0, 4, 1, 2])
+        ]
+        full = compose_ranking(rows)
+        for k in range(len(rows) + 2):
+            assert compose_ranking(rows, k=k) == full[:k]
+        assert compose_ranking(rows, k=None) == full
+
 
 class TestResultTable:
     def test_top_and_tuples(self):
