@@ -15,6 +15,10 @@ import pytest
 from repro.sources.travel import running_example_query, travel_registry
 from repro.sources.world import build_world
 
+# Quick-mode knobs (BENCH_QUICK, bench_scale, bench_out_name) live in
+# ``_bench_env.py``; bench modules import them from there, never from
+# ``conftest`` (whose module name collides with tests/conftest.py).
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 

@@ -8,9 +8,16 @@ run the benches explicitly through this entry point::
     python benchmarks/run_bench.py                 # all benchmarks
     python benchmarks/run_bench.py -k hotpaths     # one bench module
     python benchmarks/run_bench.py --benchmark-only
+    python benchmarks/run_bench.py -k hotpaths --quick   # CI smoke
+
+``--quick`` shrinks the workload sizes (via the ``BENCH_QUICK``
+environment variable, read by ``benchmarks/conftest.py``'s
+``bench_scale``) so CI can smoke-test that the bench code still runs
+without paying the full measurement cost; quick runs exercise the same
+assertions but their timings are not comparable to full runs.
 
 Regenerated artifacts (paper tables/figures and the
-``BENCH_hotpaths.json`` perf trajectory) land in ``benchmarks/out/``.
+``BENCH_*.json`` perf trajectories) land in ``benchmarks/out/``.
 Extra arguments are forwarded to pytest verbatim.
 """
 
@@ -29,6 +36,10 @@ def main(argv: list[str]) -> int:
     src = str(REPO_ROOT / "src")
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = src if not existing else f"{src}{os.pathsep}{existing}"
+    argv = list(argv)
+    if "--quick" in argv:
+        argv = [a for a in argv if a != "--quick"]
+        env["BENCH_QUICK"] = "1"
     command = [
         sys.executable,
         "-m",

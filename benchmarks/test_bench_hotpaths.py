@@ -23,6 +23,7 @@ import json
 import time
 
 import pytest
+from _bench_env import QUICK, bench_out_name, bench_scale
 
 from repro.costs.time_cost import ExecutionTimeMetric
 from repro.execution.joins import execute_join, execute_join_hashed
@@ -37,7 +38,7 @@ pytestmark = pytest.mark.bench
 #: scenario the memo targets (profiles stay put, queries repeat).
 WORKLOAD_RUNS = 3
 
-JOIN_SIDE = 400
+JOIN_SIDE = bench_scale(400, 80)
 JOIN_KEYS = 40
 
 
@@ -111,6 +112,7 @@ class TestHotpathTrajectory:
 
         payload = {
             "bench": "hotpaths",
+            "quick": QUICK,
             "workload": {
                 "optimizer": "Figure 7 plan space (running example), "
                 f"{WORKLOAD_RUNS} repeated optimizations",
@@ -119,7 +121,7 @@ class TestHotpathTrajectory:
             "optimizer_states_per_s": {"before": before_opt, "after": after_opt},
             "join_tuples_per_s": joins,
         }
-        (out_dir / "BENCH_hotpaths.json").write_text(
+        (out_dir / bench_out_name("BENCH_hotpaths.json")).write_text(
             json.dumps(payload, indent=2) + "\n"
         )
 

@@ -1,0 +1,170 @@
+"""Streaming early-exit top-k trajectory (``BENCH_streaming.json``).
+
+Measures the streamed top-k pipeline against the two full-scan
+executions on the same candidate plane, for k ∈ {1, 10, 100}:
+
+* **full** — the reference full-plane :func:`execute_join` followed by
+  ``compose_ranking(..., k)`` (the oracle of the hypothesis suite);
+* **hashed** — PR 1's :func:`execute_join_hashed` + ``compose_ranking``
+  (what the engine runs when not streaming);
+* **streamed** — :class:`JoinStream`, which walks the plane lazily and
+  suspends once the top-k is provably complete.
+
+The workload is the paper's two-search-services shape: both inputs
+emit tuples in their service rank order (rank = position), every cell
+of the plane is a candidate combination, and the composed rank of cell
+``(i, j)`` is ``i + j``.  The acceptance assertion is the whole point
+of the subsystem: cells visited must scale with k, not with ``n × m``
+— while the emitted rows stay bit-identical to the oracle.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+from _bench_env import QUICK, bench_out_name, bench_scale
+
+from repro.execution.joins import (
+    JoinStream,
+    execute_join,
+    execute_join_hashed,
+)
+from repro.execution.results import Row, compose_ranking
+from repro.model.terms import Variable
+from repro.services.registry import JoinMethod
+
+pytestmark = pytest.mark.bench
+
+SIDE = bench_scale(400, 120)
+KS = (1, 10, 100)
+
+
+def _inputs() -> tuple[list[Row], list[Row]]:
+    key, left_var, right_var = Variable("K"), Variable("L"), Variable("R")
+    left = [
+        Row(bindings={key: 0, left_var: i}, ranks=(("l", i),))
+        for i in range(SIDE)
+    ]
+    right = [
+        Row(bindings={key: 0, right_var: j}, ranks=(("r", j),))
+        for j in range(SIDE)
+    ]
+    return left, right
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, max(time.perf_counter() - start, 1e-9)
+
+
+def _full_scan(method, left, right, k) -> dict:
+    rows, elapsed = _timed(
+        lambda: compose_ranking(execute_join(method, left, right), k)
+    )
+    cells = len(left) * len(right)
+    return {
+        "rows": rows,
+        "cells_visited": cells,
+        "elapsed_s": round(elapsed, 6),
+        "cells_per_s": round(cells / elapsed, 1),
+        "tuples_per_s": round(len(rows) / elapsed, 1),
+    }
+
+
+def _hashed(method, left, right, k) -> dict:
+    rows, elapsed = _timed(
+        lambda: compose_ranking(execute_join_hashed(method, left, right), k)
+    )
+    return {
+        "rows": rows,
+        "elapsed_s": round(elapsed, 6),
+        "tuples_per_s": round(len(rows) / elapsed, 1),
+    }
+
+
+def _streamed(method, left, right, k) -> dict:
+    stream = JoinStream(method, left, right)
+    rows, elapsed = _timed(lambda: stream.top(k))
+    return {
+        "rows": rows,
+        "cells_visited": stream.cells_visited,
+        "cells_skipped": stream.cells_skipped,
+        "elapsed_s": round(elapsed, 6),
+        "cells_per_s": round(stream.cells_visited / elapsed, 1),
+        "tuples_per_s": round(len(rows) / elapsed, 1),
+    }
+
+
+def _strip(measurement: dict) -> dict:
+    return {key: value for key, value in measurement.items() if key != "rows"}
+
+
+class TestStreamingTrajectory:
+    def test_write_bench_streaming(self, out_dir):
+        left, right = _inputs()
+        plane = SIDE * SIDE
+        per_method: dict[str, dict] = {}
+        for method in (JoinMethod.NESTED_LOOP, JoinMethod.MERGE_SCAN):
+            by_k: dict[str, dict] = {}
+            visited_by_k: list[int] = []
+            for k in KS:
+                full = _full_scan(method, left, right, k)
+                hashed = _hashed(method, left, right, k)
+                streamed = _streamed(method, left, right, k)
+                # Oracle equivalence: identical rows, ranks, and order.
+                assert [(r.bindings, r.ranks) for r in streamed["rows"]] == [
+                    (r.bindings, r.ranks) for r in full["rows"]
+                ]
+                assert [(r.bindings, r.ranks) for r in hashed["rows"]] == [
+                    (r.bindings, r.ranks) for r in full["rows"]
+                ]
+                visited_by_k.append(streamed["cells_visited"])
+                by_k[f"k={k}"] = {
+                    "full": _strip(full),
+                    "hashed": _strip(hashed),
+                    "streamed": _strip(streamed),
+                }
+            # The acceptance property: cells visited grow with k and
+            # stay far below the n*m plane for small k.
+            assert visited_by_k == sorted(visited_by_k)
+            for k, visited in zip(KS, visited_by_k):
+                if k < SIDE:
+                    assert visited < plane // 4, (method, k, visited, plane)
+            if method is JoinMethod.MERGE_SCAN:
+                # Diagonal stages: k=1 closes after a single cell.  (NL
+                # stages are whole rows, so its floor is one row of m
+                # cells — still independent of n.)
+                assert visited_by_k[0] <= KS[0] * (KS[0] + 1)
+            per_method[method.value] = by_k
+
+        payload = {
+            "bench": "streaming",
+            "quick": QUICK,
+            "workload": {
+                "plane": f"{SIDE}x{SIDE} all-candidate plane, "
+                "rank-monotone inputs (rank = position)",
+                "k_values": list(KS),
+                "oracle": "compose_ranking(execute_join(...), k), also "
+                "cross-checked against execute_join_hashed",
+            },
+            "plane_cells": plane,
+            "per_method": per_method,
+        }
+        (out_dir / bench_out_name("BENCH_streaming.json")).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+
+    def test_bench_streamed_top_10(self, benchmark):
+        left, right = _inputs()
+        rows = benchmark(
+            lambda: JoinStream(JoinMethod.MERGE_SCAN, left, right).top(10)
+        )
+        assert [(r.bindings, r.ranks) for r in rows] == [
+            (r.bindings, r.ranks)
+            for r in compose_ranking(
+                execute_join(JoinMethod.MERGE_SCAN, left, right), 10
+            )
+        ]

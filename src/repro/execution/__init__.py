@@ -16,8 +16,10 @@ from repro.execution.engine import (
     execute_plan,
 )
 from repro.execution.joins import (
+    JoinStream,
     execute_join,
     execute_join_hashed,
+    execute_join_streamed,
     is_order_rank_consistent,
     join_order,
     merge_scan_order,
@@ -34,6 +36,7 @@ __all__ = [
     "ExecutionMode",
     "ExecutionResult",
     "ExecutionStats",
+    "JoinStream",
     "LogicalCache",
     "NoCache",
     "OneCallCache",
@@ -46,6 +49,7 @@ __all__ = [
     "compose_ranking",
     "execute_join",
     "execute_join_hashed",
+    "execute_join_streamed",
     "execute_plan",
     "is_order_rank_consistent",
     "join_order",

@@ -26,7 +26,18 @@ aggregates them according to the scheduling mode —
   randomizes the arrival order, which degrades the one-call cache
   (the paper measures 284 → 212 hotel calls in this setting);
   we reproduce this by shuffling each node's input block order with a
-  seeded RNG.
+  seeded RNG;
+* ``STREAMED``     — timing as ``PARALLEL``, but when a ``k`` budget is
+  given the final parallel join runs as a suspended
+  :class:`~repro.execution.joins.JoinStream`: the candidate plane is
+  walked lazily and the execution stops with a certificate that the
+  top-k is complete, skipping the unvisited cells entirely.  The
+  result table is truncated to the proven top-k (``complete`` is False
+  when answers beyond k were neither produced nor disproven), and the
+  suspended stream rides along on the :class:`ExecutionResult` so
+  "ask for more" can resume the walk without re-executing the plan.
+  Streamed results are bit-identical to ``compose_ranking`` over a
+  full-scan execution — the oracle the hypothesis suite checks.
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ from enum import Enum
 from typing import Mapping, Sequence
 
 from repro.execution.cache import CacheSetting, LogicalCache, make_cache
-from repro.execution.joins import execute_join_hashed
+from repro.execution.joins import JoinStream, execute_join_hashed
 from repro.execution.results import ResultTable, Row, compose_ranking
 from repro.execution.stats import ExecutionStats
 from repro.model.terms import Constant, Variable
@@ -56,6 +67,7 @@ class ExecutionMode(Enum):
     SEQUENTIAL = "sequential"
     PARALLEL = "parallel"
     MULTITHREADED = "multithreaded"
+    STREAMED = "streamed"
 
 
 @dataclass(frozen=True)
@@ -65,7 +77,14 @@ class ExecutionResult:
     ``node_output_sizes`` traces the dataflow: the number of tuples
     each plan node emitted — the executed counterpart of the
     annotation's ``t_out`` estimates, used by the cost-model
-    validation experiments.
+    validation experiments.  Under a streamed execution, the streamed
+    join's (and its downstream nodes') sizes count only the
+    *materialized* head, not the full plane.
+
+    ``stream`` is the suspended :class:`JoinStream` of a streamed
+    top-k execution (``None`` otherwise): calling ``stream.top`` with
+    a larger ``k`` resumes the early-exited walk over the already
+    materialized join inputs without issuing a single service call.
     """
 
     table: ResultTable
@@ -73,6 +92,12 @@ class ExecutionResult:
     elapsed: float
     k: int | None = None
     node_output_sizes: dict[str, int] = field(default_factory=dict)
+    stream: JoinStream | None = None
+
+    @property
+    def complete(self) -> bool:
+        """False when the table holds only a streamed top-k head."""
+        return self.table.complete
 
     @property
     def rows(self) -> list[Row]:
@@ -119,11 +144,17 @@ class ExecutionEngine:
         """Run *plan* and return ranked answers plus statistics.
 
         ``head`` selects the projected output variables; ``k`` is only
-        advisory (all produced answers are kept; ``answers()`` trims).
-        ``reset_remote_caches`` clears the remote servers' own caches
-        before running, so experiments are independent.
-        ``shared_cache`` lets a caller keep a logical cache alive
-        across executions (progressive "ask for more" continuations).
+        advisory in the full-scan modes (all produced answers are kept;
+        ``answers()`` trims).  Under ``ExecutionMode.STREAMED`` with a
+        ``k`` budget, the final parallel join early-exits once the
+        top-k is provably complete, the table is truncated to that
+        proven head (``table.complete`` records whether anything was
+        left unvisited), and the suspended stream is returned for
+        continuation.  ``reset_remote_caches`` clears the remote
+        servers' own caches before running, so experiments are
+        independent.  ``shared_cache`` lets a caller keep a logical
+        cache alive across executions (progressive "ask for more"
+        continuations).
         """
         plan.validate()
         if reset_remote_caches:
@@ -133,6 +164,12 @@ class ExecutionEngine:
         )
         stats = ExecutionStats()
         rng = random.Random(self._shuffle_seed)
+        streaming_join = (
+            self._streamed_join_node(plan)
+            if self._mode is ExecutionMode.STREAMED and k is not None
+            else None
+        )
+        stream: JoinStream | None = None
 
         outputs: dict[str, list[Row]] = {}
         busy: dict[str, float] = {}
@@ -147,7 +184,11 @@ class ExecutionEngine:
                 outputs[node.node_id] = rows
                 busy[node.node_id] = node_busy
             elif isinstance(node, JoinNode):
-                rows = self._run_join_node(plan, node, outputs)
+                if node is streaming_join:
+                    stream = self._open_join_stream(plan, node, outputs)
+                    rows = stream.top(k)
+                else:
+                    rows = self._run_join_node(plan, node, outputs)
                 outputs[node.node_id] = rows
                 busy[node.node_id] = node.response_time
             elif isinstance(node, OutputNode):
@@ -158,8 +199,20 @@ class ExecutionEngine:
                 raise ExecutionError(f"unknown node type {type(node).__name__}")
 
         stats.elapsed = self._elapsed(plan, busy)
-        final_rows = compose_ranking(outputs[plan.output_node.node_id])
-        table = ResultTable(head=tuple(head), rows=final_rows)
+        produced = outputs[plan.output_node.node_id]
+        if stream is not None:
+            stats.streamed_cells_visited = stream.cells_visited
+            stats.early_exit_cells_skipped = stream.cells_skipped
+        if self._mode is ExecutionMode.STREAMED and k is not None:
+            final_rows = compose_ranking(produced, k)
+            if stream is not None:
+                complete = stream.is_complete(final_rows)
+            else:
+                complete = len(final_rows) == len(produced)
+        else:
+            final_rows = compose_ranking(produced)
+            complete = True
+        table = ResultTable(head=tuple(head), rows=final_rows, complete=complete)
         return ExecutionResult(
             table=table,
             stats=stats,
@@ -168,6 +221,7 @@ class ExecutionEngine:
             node_output_sizes={
                 node_id: len(rows) for node_id, rows in outputs.items()
             },
+            stream=stream,
         )
 
     # -- node execution -----------------------------------------------------
@@ -310,12 +364,59 @@ class ExecutionEngine:
         node: JoinNode,
         outputs: dict[str, list[Row]],
     ) -> list[Row]:
+        left, right = self._join_inputs(plan, node, outputs)
+        return execute_join_hashed(node.method, left, right, node.predicates)
+
+    def _open_join_stream(
+        self,
+        plan: QueryPlan,
+        node: JoinNode,
+        outputs: dict[str, list[Row]],
+    ) -> JoinStream:
+        """Suspended streamed execution of the plan's final join.
+
+        The output node's residual predicates are pushed into the
+        stream so that the early-exit certificate counts exactly the
+        rows that survive to the final answer.
+        """
+        left, right = self._join_inputs(plan, node, outputs)
+        return JoinStream(
+            node.method,
+            left,
+            right,
+            node.predicates,
+            residual_predicates=plan.output_node.residual_predicates,
+        )
+
+    def _join_inputs(
+        self,
+        plan: QueryPlan,
+        node: JoinNode,
+        outputs: dict[str, list[Row]],
+    ) -> tuple[list[Row], list[Row]]:
         predecessors = plan.predecessors(node)
         if len(predecessors) != 2:
             raise ExecutionError(f"join {node.label} must have two predecessors")
-        left = outputs[predecessors[0].node_id]
-        right = outputs[predecessors[1].node_id]
-        return execute_join_hashed(node.method, left, right, node.predicates)
+        return outputs[predecessors[0].node_id], outputs[predecessors[1].node_id]
+
+    @staticmethod
+    def _streamed_join_node(plan: QueryPlan) -> JoinNode | None:
+        """The join node eligible for streamed top-k early exit.
+
+        Only the output node's direct join predecessor qualifies: its
+        rows reach the answer without gaining further rank annotations
+        or passing through row-producing nodes, so a top-k certificate
+        at the join is a top-k certificate for the whole query (the
+        output's residual filter is applied inside the stream).  Plans
+        whose final node is a service invocation fall back to full
+        materialization — nothing is skipped, results are identical.
+        """
+        predecessors = plan.predecessors(plan.output_node)
+        if len(predecessors) == 1 and isinstance(predecessors[0], JoinNode):
+            join = predecessors[0]
+            if len(plan.successors(join)) == 1:
+                return join
+        return None
 
     def _run_output_node(
         self,

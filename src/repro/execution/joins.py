@@ -24,10 +24,20 @@ oracle; :func:`execute_join_hashed` partitions the plane by the
 shared-variable key first (only same-key cells can join) and visits
 the surviving cells in the same global rank order, so the engine pays
 per *matching* pair instead of per cell.
+
+:class:`JoinStream` is the streaming early-exit pipeline on top of the
+same visit orders: it walks the plane lazily, stage by stage, and
+suspends as soon as a certificate proves that no unvisited cell can
+still enter the requested top-k — making the cost of a top-k answer
+proportional to ``k`` rather than to ``n × m``.  Its output is
+bit-identical (rows, ranks, and order) to
+``compose_ranking(execute_join(...), k)``.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 from typing import Iterable, Iterator, Sequence
 
 from repro.execution.results import Row
@@ -36,20 +46,43 @@ from repro.model.terms import Variable
 from repro.services.registry import JoinMethod
 
 
+def stage_count(method: JoinMethod, n_left: int, n_right: int) -> int:
+    """Number of stages of *method*'s visit order (NL rows, MS diagonals)."""
+    if n_left == 0 or n_right == 0:
+        return 0
+    if method is JoinMethod.NESTED_LOOP:
+        return n_left
+    return n_left + n_right - 1
+
+
+def stage_cells(
+    method: JoinMethod, n_left: int, n_right: int, stage: int
+) -> Iterator[tuple[int, int]]:
+    """Cells of one stage of *method*'s visit order, in emission order.
+
+    A stage is a row of the NL plane or a diagonal (constant ``i + j``)
+    of the MS plane.  This is the single source of truth for the cell
+    order: the full-plane generators below and the streamed
+    :class:`JoinStream` both walk stages through it, which is what
+    keeps their emission orders identical by construction.
+    """
+    if method is JoinMethod.NESTED_LOOP:
+        return ((stage, j) for j in range(n_right))
+    start = max(0, stage - n_right + 1)
+    stop = min(stage, n_left - 1)
+    return ((i, stage - i) for i in range(start, stop + 1))
+
+
 def nested_loop_order(n_left: int, n_right: int) -> Iterator[tuple[int, int]]:
     """Cell visit order of the NL strategy (outer = left/selective side)."""
-    for i in range(n_left):
-        for j in range(n_right):
-            yield (i, j)
+    for stage in range(stage_count(JoinMethod.NESTED_LOOP, n_left, n_right)):
+        yield from stage_cells(JoinMethod.NESTED_LOOP, n_left, n_right, stage)
 
 
 def merge_scan_order(n_left: int, n_right: int) -> Iterator[tuple[int, int]]:
     """Cell visit order of the MS strategy: diagonals of equal i + j."""
-    for diagonal in range(n_left + n_right - 1):
-        start = max(0, diagonal - n_right + 1)
-        stop = min(diagonal, n_left - 1)
-        for i in range(start, stop + 1):
-            yield (i, diagonal - i)
+    for stage in range(stage_count(JoinMethod.MERGE_SCAN, n_left, n_right)):
+        yield from stage_cells(JoinMethod.MERGE_SCAN, n_left, n_right, stage)
 
 
 def join_order(
@@ -209,3 +242,222 @@ def execute_join_hashed(
         if all(p.holds(merged.bindings) for p in predicates):
             output.append(merged)
     return output
+
+
+def _suffix_minima(values: Sequence[int]) -> list[float]:
+    """``out[i] = min(values[i:])`` with ``out[len(values)] = +inf``."""
+    minima: list[float] = [math.inf] * (len(values) + 1)
+    for index in range(len(values) - 1, -1, -1):
+        minima[index] = min(values[index], minima[index + 1])
+    return minima
+
+
+class JoinStream:
+    """Streaming early-exit top-k execution of a rank-preserving join.
+
+    The stream walks the strategy's candidate plane lazily, one *stage*
+    at a time — a row of the NL plane, a diagonal of the MS plane — in
+    exactly the order :func:`join_order` would visit the cells, keeping
+    every surviving merged row as a candidate.  After each stage it
+    compares the composed rank of the current k-th best candidate with
+    a **certificate**: a lower bound on the composed rank of every
+    cell not yet visited, derived from suffix minima of the two inputs'
+    aggregated rank keys (a cell ``(i, j)`` merges ``left[i]`` and
+    ``right[j]``, so its composed rank is exactly
+    ``left[i].rank_key() + right[j].rank_key()``).  Once the bound is
+    no smaller than the k-th candidate's rank the walk suspends: an
+    unvisited cell can at best *tie*, and ties are broken by emission
+    order (see :func:`~repro.execution.results.compose_ranking`), which
+    every unvisited cell loses against every collected candidate.
+
+    Hence :meth:`top` is bit-identical — same rows, same ranks, same
+    order — to filtering ``execute_join(method, left, right,
+    predicates)`` by *residual_predicates* and then applying
+    ``compose_ranking(..., k)`` (filter first, then compose: the same
+    order the engine's output node applies them in), while visiting
+    only a prefix of the plane.  The stream is
+    **resumable**: calling :meth:`top` again with a larger ``k``
+    continues the suspended walk from the first unvisited stage,
+    re-using every candidate already collected — no cell is ever
+    visited twice.  ``cells_visited`` / ``cells_skipped`` expose the
+    early-exit bookkeeping for the execution statistics.
+    """
+
+    def __init__(
+        self,
+        method: JoinMethod,
+        left: Sequence[Row],
+        right: Sequence[Row],
+        predicates: Sequence[Comparison] = (),
+        residual_predicates: Sequence[Comparison] = (),
+    ) -> None:
+        self._method = method
+        self._left = list(left)
+        self._right = list(right)
+        self._predicates = tuple(predicates)
+        self._residual = tuple(residual_predicates)
+        self._n = len(self._left)
+        self._m = len(self._right)
+        self._left_ranks = [row.rank_key() for row in self._left]
+        self._right_ranks = [row.rank_key() for row in self._right]
+        self._left_suffix = _suffix_minima(self._left_ranks)
+        self._right_suffix = _suffix_minima(self._right_ranks)
+        self._num_stages = stage_count(method, self._n, self._m)
+        self._stage = 0
+        #: (composed rank, arrival index, row) — arrival indexes are the
+        #: candidate's position in the full-scan emission order, making
+        #: tuple comparison the documented (rank, arrival) tie order.
+        self._candidates: list[tuple[int, int, Row]] = []
+        self._join_rows_emitted = 0
+        self.cells_visited = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def method(self) -> JoinMethod:
+        """The join strategy whose visit order is being streamed."""
+        return self._method
+
+    @property
+    def plane_cells(self) -> int:
+        """Total number of cells of the candidate plane (``n × m``)."""
+        return self._n * self._m
+
+    @property
+    def cells_skipped(self) -> int:
+        """Cells proven unable to enter the top-k without being visited."""
+        return self.plane_cells - self.cells_visited
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the whole plane has been visited."""
+        return self._stage >= self._num_stages
+
+    @property
+    def candidate_count(self) -> int:
+        """Candidates collected so far (post join + residual predicates)."""
+        return len(self._candidates)
+
+    @property
+    def join_rows_emitted(self) -> int:
+        """Rows past the join predicates (before any residual filter)."""
+        return self._join_rows_emitted
+
+    def is_complete(self, rows: Sequence[Row]) -> bool:
+        """True when *rows* (a :meth:`top` result) is *every* answer the
+        current plane can produce: the walk exhausted and the top-k
+        truncation dropped nothing.  This is the single definition of
+        the ``ResultTable.complete`` flag for streamed executions."""
+        return self.exhausted and len(rows) == self.candidate_count
+
+    # -- the walk ------------------------------------------------------------
+
+    def _advance_stage(self) -> None:
+        """Visit every cell of the next stage, collecting candidates."""
+        left, right = self._left, self._right
+        for i, j in stage_cells(self._method, self._n, self._m, self._stage):
+            self.cells_visited += 1
+            merged = left[i].merged_with(right[j])
+            if merged is None:
+                continue
+            if not all(p.holds(merged.bindings) for p in self._predicates):
+                continue
+            self._join_rows_emitted += 1
+            if not all(p.holds(merged.bindings) for p in self._residual):
+                continue
+            rank = self._left_ranks[i] + self._right_ranks[j]
+            self._candidates.append((rank, len(self._candidates), merged))
+        self._stage += 1
+
+    def _remaining_lower_bound(self) -> float:
+        """Lower bound on the composed rank of every unvisited cell.
+
+        NL (row stages): all cells of rows ``>= stage`` are unvisited,
+        so the bound is ``min(left ranks from stage) + min(right
+        ranks)``.  MS (diagonal stages): the unvisited region is
+        ``i + j >= stage``; rows ``i >= stage`` may pair with any
+        column (one suffix lookup), rows ``i < stage`` only with
+        columns ``j >= stage - i`` (one suffix lookup each, at most
+        ``min(stage, m - 1)`` rows).
+        """
+        if self.exhausted:
+            return math.inf
+        if self._method is JoinMethod.NESTED_LOOP:
+            return self._left_suffix[self._stage] + self._right_suffix[0]
+        stage, n, m = self._stage, self._n, self._m
+        best = math.inf
+        if stage < n:
+            best = self._left_suffix[stage] + self._right_suffix[0]
+        for i in range(max(0, stage - m + 1), min(stage, n)):
+            bound = self._left_ranks[i] + self._right_suffix[stage - i]
+            if bound < best:
+                best = bound
+        return best
+
+    def top(self, k: int | None = None) -> list[Row]:
+        """The top-*k* composed rows; resumes the suspended walk.
+
+        ``None`` (or a negative ``k``, mirroring
+        :func:`~repro.execution.results.compose_ranking`) drains the
+        whole plane and returns every row in composed order.
+
+        The certificate check keeps an incremental bounded max-heap of
+        the current k best ``(rank, arrival)`` keys (rebuilt once per
+        call, O(log k) per new candidate), so a late-firing exit costs
+        one heap update per candidate rather than a rescan of the
+        whole candidate list after every stage.
+        """
+        if k is not None and k < 0:
+            k = None
+        if k is None:
+            while not self.exhausted:
+                self._advance_stage()
+            return [row for _, _, row in sorted(self._candidates)]
+        # Max-heap (negated keys) of the k smallest (rank, arrival).
+        worst_first = [
+            (-rank, -arrival)
+            for rank, arrival, _ in heapq.nsmallest(k, self._candidates)
+        ]
+        heapq.heapify(worst_first)
+        while not self.exhausted and not self._certified(worst_first, k):
+            seen = len(self._candidates)
+            self._advance_stage()
+            for rank, arrival, _ in self._candidates[seen:]:
+                key = (-rank, -arrival)
+                if len(worst_first) < k:
+                    heapq.heappush(worst_first, key)
+                elif key > worst_first[0]:
+                    heapq.heappushpop(worst_first, key)
+        selected = sorted((-rank, -arrival) for rank, arrival in worst_first)
+        return [self._candidates[arrival][2] for _, arrival in selected]
+
+    def _certified(self, worst_first: list[tuple[int, int]], k: int) -> bool:
+        """True when no unvisited cell can still enter the top-*k*.
+
+        *worst_first* is the bounded max-heap of the current k best
+        candidate keys; its root carries the k-th smallest rank.
+        """
+        if k == 0:
+            return True
+        if len(worst_first) < k:
+            return False
+        threshold = -worst_first[0][0]
+        return self._remaining_lower_bound() >= threshold
+
+
+def execute_join_streamed(
+    method: JoinMethod,
+    left: Sequence[Row],
+    right: Sequence[Row],
+    predicates: Sequence[Comparison] = (),
+    k: int | None = None,
+) -> list[Row]:
+    """Streamed early-exit top-k join (one-shot :class:`JoinStream`).
+
+    Returns rows bit-identical to
+    ``compose_ranking(execute_join(method, left, right, predicates), k)``
+    while visiting only as much of the candidate plane as needed to
+    prove the top-k complete.  Callers that want to resume the walk
+    later ("ask for more") should hold a :class:`JoinStream` instead.
+    """
+    return JoinStream(method, left, right, predicates).top(k)

@@ -7,10 +7,20 @@ or ask for more results of the same query ..."
 The :class:`ProgressiveExecutor` runs a plan with its current fetching
 factors and, when the user asks for more than it produced, grows the
 factors of the chunked services (doubling, bounded by decay caps) and
-re-executes.  Rounds share an **optimal logical cache**, so every call
-already issued in an earlier round is answered locally — continuing a
-query only pays for the *new* fetches, exactly as a resumed execution
-would.
+re-executes.  Rounds share one logical cache (optimal by default), so
+every call already issued in an earlier round is answered locally —
+continuing a query only pays for the *new* fetches, exactly as a
+resumed execution would.
+
+Under ``ExecutionMode.STREAMED`` the continuation is cheaper still:
+each round leaves behind a suspended
+:class:`~repro.execution.joins.JoinStream` holding the final join's
+materialized inputs, and asking for more first *resumes* that stream —
+walking further into the candidate plane — which issues **no service
+call at all**, under any cache setting.  Only when the suspended
+stream exhausts its plane without reaching the requested k does the
+executor fall back to growing fetches and re-executing (where the
+shared logical cache again absorbs every already-fetched page).
 """
 
 from __future__ import annotations
@@ -19,6 +29,8 @@ from dataclasses import dataclass, field
 
 from repro.execution.cache import CacheSetting, make_cache
 from repro.execution.engine import ExecutionEngine, ExecutionMode, ExecutionResult
+from repro.execution.results import ResultTable
+from repro.execution.stats import ExecutionStats
 from repro.model.terms import Variable
 from repro.plans.dag import QueryPlan
 from repro.services.registry import ServiceRegistry
@@ -26,36 +38,47 @@ from repro.services.registry import ServiceRegistry
 
 @dataclass
 class ProgressiveRound:
-    """Bookkeeping for one execution round."""
+    """Bookkeeping for one execution round.
+
+    ``resumed`` marks rounds served entirely by resuming the previous
+    round's suspended stream: zero service calls, zero fetches.
+    """
 
     fetches: dict[int, int]
     answers: int
     new_calls: int
     elapsed: float
+    resumed: bool = False
 
 
 @dataclass
 class ProgressiveExecutor:
     """Re-executes a plan with growing fetch factors until satisfied.
 
-    The logical cache persists across rounds (optimal caching), so a
-    continuation never repeats a call already made.
+    The logical cache persists across rounds (``cache_setting``,
+    optimal by default), so a continuation never repeats a call already
+    made.  With ``mode=ExecutionMode.STREAMED`` continuations resume
+    the suspended top-k stream first and only re-execute when the
+    already-materialized join inputs cannot prove the larger top-k.
     """
 
     registry: ServiceRegistry
     plan: QueryPlan
     head: tuple[Variable, ...] = ()
     mode: ExecutionMode = ExecutionMode.PARALLEL
+    cache_setting: CacheSetting = CacheSetting.OPTIMAL
+    #: Bounds the *executing* rounds (those that run the plan); resumed
+    #: stream rounds are free — zero calls — and never count against it.
     max_rounds: int = 8
     rounds: list[ProgressiveRound] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._engine = ExecutionEngine(
-            self.registry, cache_setting=CacheSetting.OPTIMAL, mode=self.mode
+            self.registry, cache_setting=self.cache_setting, mode=self.mode
         )
         # One shared cache across all rounds: continuations are free
         # where they overlap with what was already fetched.
-        self._shared_cache = make_cache(CacheSetting.OPTIMAL)
+        self._shared_cache = make_cache(self.cache_setting)
         self._last_result: ExecutionResult | None = None
 
     def fetch_vector(self) -> dict[int, int]:
@@ -88,12 +111,14 @@ class ProgressiveExecutor:
         Stops early when every factor is capped (k may be unreachable,
         as the paper notes for services with small decay bounds).
         """
-        result = self._execute_round()
-        while len(result.rows) < k and len(self.rounds) < self.max_rounds:
+        result = self._resume_stream(k)
+        if result is None:
+            result = self._execute_round(k)
+        while len(result.rows) < k and self._executed_rounds() < self.max_rounds:
             if not self._grow_fetches():
                 break  # every factor capped by its decay bound
             previous_answers = len(result.rows)
-            result = self._execute_round()
+            result = self._execute_round(k)
             latest = self.rounds[-1]
             if latest.new_calls == 0 and latest.answers == previous_answers:
                 break  # the services are exhausted: no more data exists
@@ -105,11 +130,54 @@ class ProgressiveExecutor:
         already = len(self._last_result.rows) if self._last_result else 0
         return self.run(already + additional)
 
-    def _execute_round(self) -> ExecutionResult:
-        calls_before = self._total_calls()
+    def _resume_stream(self, k: int) -> ExecutionResult | None:
+        """Serve *k* by resuming the suspended stream, if possible.
+
+        Walks the previous round's :class:`JoinStream` further into
+        the candidate plane — over join inputs that are already
+        materialized, so no service is ever called.  Returns None only
+        when there is no suspended stream.  When the stream exhausts
+        its plane below *k*, the drained answers still become this
+        round's result (re-executing with unchanged fetches would only
+        recompute them), and ``run`` proceeds directly to fetch growth.
+        """
+        last = self._last_result
+        if last is None or last.stream is None:
+            return None
+        stream = last.stream
+        rows = stream.top(k)
+        stats = ExecutionStats()
+        stats.streamed_cells_visited = stream.cells_visited
+        stats.early_exit_cells_skipped = stream.cells_skipped
+        table = ResultTable(
+            head=tuple(self.head),
+            rows=rows,
+            complete=stream.is_complete(rows),
+        )
+        result = ExecutionResult(
+            table=table,
+            stats=stats,
+            elapsed=0.0,
+            k=k,
+            node_output_sizes={},
+            stream=stream,
+        )
+        self.rounds.append(
+            ProgressiveRound(
+                fetches=self.fetch_vector(),
+                answers=len(rows),
+                new_calls=0,
+                elapsed=0.0,
+                resumed=True,
+            )
+        )
+        return result
+
+    def _execute_round(self, k: int | None = None) -> ExecutionResult:
         result = self._engine.execute(
             self.plan,
             head=self.head,
+            k=k,
             reset_remote_caches=not self.rounds,
             shared_cache=self._shared_cache,
         )
@@ -121,8 +189,11 @@ class ProgressiveExecutor:
                 elapsed=result.elapsed,
             )
         )
-        del calls_before
         return result
+
+    def _executed_rounds(self) -> int:
+        """Rounds that actually ran the plan (resumed rounds are free)."""
+        return sum(1 for r in self.rounds if not r.resumed)
 
     def _total_calls(self) -> int:
         return sum(r.new_calls for r in self.rounds)

@@ -67,25 +67,49 @@ class Row:
 def compose_ranking(rows: Sequence[Row], k: int | None = None) -> list[Row]:
     """Order *rows* by aggregated rank (stable on ties).
 
+    **Total order contract** (shared with the streamed top-k pipeline,
+    :class:`~repro.execution.joins.JoinStream`): rows are ordered by
+    the key ``(rank_key, arrival index)``, where the arrival index is
+    the row's position in *rows* — i.e. ties in the aggregated rank are
+    broken by arrival order, which itself is consistent with the
+    partial orders thanks to the rank-aware join strategies.  Both the
+    full-sort and the heap path below, and ``JoinStream.top``, realize
+    exactly this order, which is what makes the streamed pipeline
+    bit-identical to the full-scan oracle.
+
     The composed ranking is consistent with each service's partial
     order: a row that improves in every partial rank cannot be placed
     after one it dominates.
 
     When *k* is known, only the top-k rows are materialized via a heap
-    selection (``heapq.nsmallest`` is stable: equivalent to sorting and
-    truncating), which skips the full sort on large answer sets.
+    selection over explicitly ``(rank_key, arrival)``-decorated rows
+    (equivalent to sorting and truncating), which skips the full sort
+    on large answer sets.
     """
     if k is not None and 0 <= k < len(rows):
-        return heapq.nsmallest(k, rows, key=Row.rank_key)
+        decorated = heapq.nsmallest(
+            k,
+            ((row.rank_key(), index) for index, row in enumerate(rows)),
+        )
+        return [rows[index] for _, index in decorated]
     return sorted(rows, key=Row.rank_key)
 
 
 @dataclass
 class ResultTable:
-    """The final answers of a query execution."""
+    """The final answers of a query execution.
+
+    ``complete`` is the partial-result flag of the streamed pipeline:
+    ``True`` when the table holds *every* answer the plan can produce
+    with its current fetches (the default for full materialization),
+    ``False`` when a streamed top-k execution suspended early and the
+    table only holds the proven top-k head — asking for more resumes
+    the suspended stream instead of re-executing.
+    """
 
     head: tuple[Variable, ...]
     rows: list[Row] = field(default_factory=list)
+    complete: bool = True
 
     def __len__(self) -> int:
         return len(self.rows)

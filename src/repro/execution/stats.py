@@ -36,10 +36,20 @@ class ServiceCallStats:
 
 @dataclass
 class ExecutionStats:
-    """Per-service counters plus global totals for one execution."""
+    """Per-service counters plus global totals for one execution.
+
+    ``streamed_cells_visited`` / ``early_exit_cells_skipped`` trace the
+    streamed top-k pipeline: how many candidate-plane cells the final
+    join actually visited and how many it proved unable to enter the
+    top-k without visiting them.  Both stay 0 for full-scan executions
+    (and ``early_exit_cells_skipped`` is 0 whenever ``k >= n × m``, as
+    proving a full-plane top-k complete requires visiting every cell).
+    """
 
     per_service: dict[str, ServiceCallStats] = field(default_factory=dict)
     elapsed: float = 0.0
+    streamed_cells_visited: int = 0
+    early_exit_cells_skipped: int = 0
 
     def service(self, name: str) -> ServiceCallStats:
         """The (auto-created) counters for service *name*."""
@@ -69,6 +79,11 @@ class ExecutionStats:
     def summary(self) -> str:
         """Readable multi-line rendering."""
         lines = [f"elapsed: {self.elapsed:.1f}s  calls: {self.total_calls}"]
+        if self.streamed_cells_visited or self.early_exit_cells_skipped:
+            lines.append(
+                f"  streamed: cells_visited={self.streamed_cells_visited}"
+                f" early_exit_cells_skipped={self.early_exit_cells_skipped}"
+            )
         for name in sorted(self.per_service):
             stats = self.per_service[name]
             lines.append(

@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.execution.cache import CacheSetting
+from repro.execution.engine import ExecutionEngine, ExecutionMode
 from repro.execution.progressive import ProgressiveExecutor
+from repro.execution.results import compose_ranking
 from repro.plans.builder import PlanBuilder, chain_poset
 from repro.sources.travel import (
     FLIGHT_ATOM,
@@ -60,6 +63,104 @@ class TestRun:
         first = executor.run(k=3)
         extended = executor.more(10)
         assert len(extended.rows) >= min(13, len(first.rows) + 1)
+
+
+class TestStreamedResume:
+    """STREAMED continuations resume the suspended JoinStream: asking
+    for more walks further into the already-materialized candidate
+    plane, so no service call issued in an earlier round is ever
+    repeated — under *any* logical-cache setting."""
+
+    def _executor(self, registry, travel_query, setting):
+        plan = PlanBuilder(travel_query, registry).build(
+            alpha1_patterns(), poset_optimal(),
+            fetches={FLIGHT_ATOM: 2, HOTEL_ATOM: 2},
+        )
+        return ProgressiveExecutor(
+            registry=registry,
+            plan=plan,
+            head=tuple(travel_query.head),
+            mode=ExecutionMode.STREAMED,
+            cache_setting=setting,
+        )
+
+    @pytest.mark.parametrize("setting", list(CacheSetting), ids=lambda s: s.value)
+    def test_resumed_stream_issues_no_service_calls(
+        self, registry, travel_query, setting
+    ):
+        executor = self._executor(registry, travel_query, setting)
+        first = executor.run(k=2)
+        assert first.stream is not None
+        assert len(first.rows) == 2
+        more = executor.more(3)
+        latest = executor.rounds[-1]
+        assert latest.resumed
+        assert latest.new_calls == 0
+        # No service interaction at all: the resumed round issues no
+        # call, no fetch, and not even a logical-cache lookup — the
+        # counters stay at zero under every cache setting.
+        assert more.stats.total_calls == 0
+        assert more.stats.total_fetches == 0
+        assert more.stats.total_cache_hits == 0
+        assert len(more.rows) == 5
+        # The resumed stream shares the suspended walk's bookkeeping.
+        assert more.stats.streamed_cells_visited == first.stream.cells_visited
+        assert (
+            more.stats.streamed_cells_visited
+            + more.stats.early_exit_cells_skipped
+            == first.stream.plane_cells
+        )
+
+    def test_resumed_rows_match_full_scan_oracle(self, registry, travel_query):
+        executor = self._executor(registry, travel_query, CacheSetting.OPTIMAL)
+        executor.run(k=2)
+        more = executor.more(3)
+        oracle_plan = PlanBuilder(travel_query, registry).build(
+            alpha1_patterns(), poset_optimal(),
+            fetches={FLIGHT_ATOM: 2, HOTEL_ATOM: 2},
+        )
+        oracle = ExecutionEngine(registry, mode=ExecutionMode.PARALLEL).execute(
+            oracle_plan, head=tuple(travel_query.head)
+        )
+        expected = compose_ranking(oracle.rows, 5)
+        assert [dict(r.bindings) for r in more.rows] == [
+            dict(r.bindings) for r in expected
+        ]
+        assert [r.rank_key() for r in more.rows] == [
+            r.rank_key() for r in expected
+        ]
+
+    def test_free_resumed_rounds_do_not_consume_growth_budget(
+        self, registry, travel_query
+    ):
+        """max_rounds bounds executing rounds only: any number of free
+        stream-resume rounds must leave fetch growth available."""
+        executor = self._executor(registry, travel_query, CacheSetting.OPTIMAL)
+        executor.run(k=1)
+        for _ in range(executor.max_rounds + 2):
+            executor.more(1)  # all served by the suspended stream
+        assert len(executor.rounds) > executor.max_rounds
+        assert all(r.resumed for r in executor.rounds[1:])
+        fetches_before = executor.fetch_vector()
+        executor.run(k=10_000)  # beyond the plane: must grow fetches
+        fetches_after = executor.fetch_vector()
+        assert any(
+            fetches_after[index] > fetches_before[index]
+            for index in fetches_before
+        )
+
+    @pytest.mark.parametrize("setting", list(CacheSetting), ids=lambda s: s.value)
+    def test_exhausted_stream_falls_back_to_fetch_growth(
+        self, registry, travel_query, setting
+    ):
+        executor = self._executor(registry, travel_query, setting)
+        first = executor.run(k=2)
+        produced = first.stream.top(None)
+        huge = len(produced) + 1000
+        result = executor.run(k=huge)
+        grown = [r for r in executor.rounds[1:] if not r.resumed]
+        assert grown, "growth rounds expected once the stream exhausts"
+        assert len(result.rows) > len(first.rows)
 
 
 class TestCaps:

@@ -1,0 +1,265 @@
+"""Differential suite for the streaming early-exit top-k pipeline.
+
+The streamed execution path must be **bit-identical** — same rows,
+same ranks, same emission order — to ``compose_ranking`` over the
+full-scan oracle:
+
+* at the join level, :class:`JoinStream` / :func:`execute_join_streamed`
+  against ``compose_ranking(execute_join(...), k)`` (and the hashed
+  join, which PR 1 proved identical to the full scan), for random
+  inputs, random *non-monotone* rank annotations, both strategies and
+  arbitrary k — including k = 0 and k beyond the plane;
+* at the engine level, ``ExecutionMode.STREAMED`` against
+  ``ExecutionMode.PARALLEL`` on plans built over random service
+  tables, for both join methods.
+
+The suite also pins the early-exit bookkeeping: proving a top-k
+complete for ``k >= n*m`` requires visiting the whole plane, so
+``early_exit_cells_skipped`` must be 0 there.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.engine import ExecutionEngine, ExecutionMode
+from repro.execution.joins import (
+    JoinStream,
+    execute_join,
+    execute_join_hashed,
+    execute_join_streamed,
+)
+from repro.execution.results import Row, compose_ranking
+from repro.model.atoms import Atom
+from repro.model.predicates import BinaryExpression, Comparison
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import signature
+from repro.model.terms import Constant, Variable
+from repro.plans.builder import PlanBuilder, Poset
+from repro.services.profile import search_profile
+from repro.services.registry import JoinMethod, ServiceRegistry
+from repro.services.table import TableSearchService
+
+METHODS = (JoinMethod.NESTED_LOOP, JoinMethod.MERGE_SCAN)
+
+
+def _signature(rows):
+    return [(dict(r.bindings), r.ranks) for r in rows]
+
+
+def _ranked_side(keys, ranks, side_name):
+    """Rows with a shared K, a per-side index, and explicit ranks."""
+    variable = Variable(side_name)
+    return [
+        Row(
+            bindings={Variable("K"): key, variable: index},
+            ranks=((side_name, ranks[index]),),
+        )
+        for index, key in enumerate(keys)
+    ]
+
+
+_keys = st.lists(st.integers(0, 3), min_size=0, max_size=6)
+_ranks = st.lists(st.integers(0, 9), min_size=6, max_size=6)
+_k = st.one_of(st.none(), st.integers(0, 40))
+
+
+class TestStreamedJoinMatchesOracle:
+    """``execute_join_streamed`` vs. the full-scan / hashed oracles."""
+
+    @given(_keys, _keys, _ranks, _ranks, _k)
+    @settings(max_examples=120, deadline=None)
+    def test_bit_identical_to_compose_ranking(self, lk, rk, lr, rr, k):
+        left = _ranked_side(lk, lr, "L")
+        right = _ranked_side(rk, rr, "R")
+        for method in METHODS:
+            oracle = compose_ranking(execute_join(method, left, right), k)
+            hashed = compose_ranking(execute_join_hashed(method, left, right), k)
+            streamed = execute_join_streamed(method, left, right, k=k)
+            assert _signature(streamed) == _signature(oracle)
+            assert _signature(streamed) == _signature(hashed)
+
+    @given(_keys, _keys, _ranks, _ranks, _k)
+    @settings(max_examples=60, deadline=None)
+    def test_identical_under_predicates(self, lk, rk, lr, rr, k):
+        left = _ranked_side(lk, lr, "L")
+        right = _ranked_side(rk, rr, "R")
+        predicate = Comparison(
+            BinaryExpression("+", Variable("L"), Variable("R")), "<", Constant(5)
+        )
+        for method in METHODS:
+            oracle = compose_ranking(
+                execute_join(method, left, right, [predicate]), k
+            )
+            streamed = execute_join_streamed(
+                method, left, right, [predicate], k=k
+            )
+            assert _signature(streamed) == _signature(oracle)
+
+    @given(_keys, _keys, _ranks, _ranks)
+    @settings(max_examples=60, deadline=None)
+    def test_no_cells_skipped_when_k_covers_plane(self, lk, rk, lr, rr):
+        left = _ranked_side(lk, lr, "L")
+        right = _ranked_side(rk, rr, "R")
+        plane = len(left) * len(right)
+        for method in METHODS:
+            for k in (plane, plane + 3):
+                stream = JoinStream(method, left, right)
+                stream.top(k)
+                assert stream.cells_skipped == 0
+                assert stream.cells_visited == plane
+
+    @given(_keys, _keys, _ranks, _ranks, st.integers(0, 8), st.integers(0, 40))
+    @settings(max_examples=80, deadline=None)
+    def test_resumed_stream_matches_oracle_at_larger_k(
+        self, lk, rk, lr, rr, k1, k2_extra
+    ):
+        """top(k1) then top(k2): the resumed walk must still be exact."""
+        left = _ranked_side(lk, lr, "L")
+        right = _ranked_side(rk, rr, "R")
+        k2 = k1 + k2_extra
+        for method in METHODS:
+            full = execute_join(method, left, right)
+            stream = JoinStream(method, left, right)
+            assert _signature(stream.top(k1)) == _signature(
+                compose_ranking(full, k1)
+            )
+            visited_after_first = stream.cells_visited
+            assert _signature(stream.top(k2)) == _signature(
+                compose_ranking(full, k2)
+            )
+            # resuming never revisits: the walk only ever advances.
+            assert stream.cells_visited >= visited_after_first
+            assert _signature(stream.top(None)) == _signature(
+                compose_ranking(full)
+            )
+
+    @given(st.integers(1, 30), st.integers(1, 30), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_early_exit_scales_with_k_on_monotone_ranks(self, n, m, k):
+        """On rank-monotone inputs (what search services emit for one
+        input tuple) the MS certificate closes the top-k after ~k
+        cells, not n*m."""
+        left = _ranked_side([0] * n, list(range(n)), "L")
+        right = _ranked_side([0] * m, list(range(m)), "R")
+        stream = JoinStream(JoinMethod.MERGE_SCAN, left, right)
+        rows = stream.top(k)
+        oracle = compose_ranking(execute_join(JoinMethod.MERGE_SCAN, left, right), k)
+        assert _signature(rows) == _signature(oracle)
+        if k < min(n, m):
+            # at most the first k diagonals — O(k^2) cells, not n*m
+            assert k <= stream.cells_visited <= k * (k + 1) // 2
+
+
+class TestTieBreaking:
+    """The documented (rank_key, arrival) order: heap path, sort path,
+    and streamed path must agree on duplicate composed ranks."""
+
+    def test_duplicate_ranks_agree_across_paths(self):
+        # An all-matching plane where many cells share a composed rank.
+        left = _ranked_side([0] * 4, [1, 1, 0, 0], "L")
+        right = _ranked_side([0] * 4, [0, 1, 1, 0], "R")
+        for method in METHODS:
+            full = execute_join(method, left, right)
+            sort_path = compose_ranking(full)
+            for k in range(len(full) + 2):
+                heap_path = compose_ranking(full, k)
+                streamed = execute_join_streamed(method, left, right, k=k)
+                assert _signature(heap_path) == _signature(sort_path[:k])
+                assert _signature(streamed) == _signature(sort_path[:k])
+
+
+# -- engine level -----------------------------------------------------------
+
+
+def _random_table_plan(left_keys, right_keys, method):
+    """A two-branch plan over random search tables, merged by *method*."""
+    registry = ServiceRegistry()
+    registry.register(
+        TableSearchService(
+            signature("lefts", ["Q", "K", "L"], ["ioo"]),
+            search_profile(chunk_size=4, response_time=1.0),
+            [("q", key, index) for index, key in enumerate(left_keys)],
+            score=lambda row: float(-row[2]),
+        )
+    )
+    registry.register(
+        TableSearchService(
+            signature("rights", ["Q", "K", "R"], ["ioo"]),
+            search_profile(chunk_size=4, response_time=1.0),
+            [("q", key, index) for index, key in enumerate(right_keys)],
+            score=lambda row: float(-row[2]),
+        )
+    )
+    registry.register_join_method("lefts", "rights", method)
+    key, left_var, right_var = Variable("K"), Variable("L"), Variable("R")
+    query = ConjunctiveQuery(
+        name="stream",
+        head=(key, left_var, right_var),
+        atoms=(
+            Atom("lefts", (Constant("q"), key, left_var)),
+            Atom("rights", (Constant("q"), key, right_var)),
+        ),
+        predicates=(),
+    )
+    plan = PlanBuilder(query, registry).build(
+        (
+            registry.signature("lefts").pattern("ioo"),
+            registry.signature("rights").pattern("ioo"),
+        ),
+        Poset(n=2),
+        fetches={0: 2, 1: 2},
+    )
+    return registry, query, plan
+
+
+_table_keys = st.lists(st.integers(0, 2), min_size=1, max_size=6)
+
+
+class TestStreamedEngineMatchesOracle:
+    """``ExecutionMode.STREAMED`` vs. the full-scan engine on plans
+    built over random service tables."""
+
+    @given(_table_keys, _table_keys, st.integers(0, 12), st.sampled_from(METHODS))
+    @settings(max_examples=25, deadline=None)
+    def test_streamed_execution_bit_identical(self, lk, rk, k, method):
+        registry, query, plan = _random_table_plan(lk, rk, method)
+        head = tuple(query.head)
+        oracle = ExecutionEngine(registry, mode=ExecutionMode.PARALLEL).execute(
+            plan, head=head
+        )
+        streamed = ExecutionEngine(registry, mode=ExecutionMode.STREAMED).execute(
+            plan, head=head, k=k
+        )
+        expected = compose_ranking(oracle.rows, k)
+        assert _signature(streamed.rows) == _signature(expected)
+        assert streamed.stream is not None
+        plane = streamed.stream.plane_cells
+        assert (
+            streamed.stats.streamed_cells_visited
+            + streamed.stats.early_exit_cells_skipped
+            == plane
+        )
+        if k >= plane:
+            assert streamed.stats.early_exit_cells_skipped == 0
+        if streamed.complete:
+            assert _signature(streamed.rows) == _signature(
+                compose_ranking(oracle.rows, k)
+            )
+        else:
+            assert len(streamed.rows) == k
+
+    @given(_table_keys, _table_keys, st.sampled_from(METHODS))
+    @settings(max_examples=15, deadline=None)
+    def test_streamed_without_k_is_plain_execution(self, lk, rk, method):
+        registry, query, plan = _random_table_plan(lk, rk, method)
+        head = tuple(query.head)
+        oracle = ExecutionEngine(registry, mode=ExecutionMode.PARALLEL).execute(
+            plan, head=head
+        )
+        streamed = ExecutionEngine(registry, mode=ExecutionMode.STREAMED).execute(
+            plan, head=head
+        )
+        assert _signature(streamed.rows) == _signature(oracle.rows)
+        assert streamed.stream is None
+        assert streamed.complete
+        assert streamed.stats.early_exit_cells_skipped == 0

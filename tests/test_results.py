@@ -69,6 +69,32 @@ class TestComposeRanking:
             assert compose_ranking(rows, k=k) == full[:k]
         assert compose_ranking(rows, k=None) == full
 
+    def test_duplicate_ranks_heap_path_keeps_arrival_order(self):
+        """Regression for the documented (rank_key, arrival) contract:
+        with many duplicate composed ranks, the heap path must return
+        the *earliest-arriving* rows of each tie class, in arrival
+        order — exactly the full stable sort truncated, and exactly
+        what the streamed pipeline emits."""
+        rows = [
+            _row(ranks=[("a", rank)], X=index)
+            for index, rank in enumerate([1, 1, 0, 1, 0, 1, 0, 1, 1])
+        ]
+        full = compose_ranking(rows)
+        # ties resolved by arrival: all rank-0 rows first (X = 2, 4, 6),
+        # then the rank-1 rows in arrival order.
+        assert [r.bindings[Variable("X")] for r in full] == [2, 4, 6, 0, 1, 3, 5, 7, 8]
+        for k in range(len(rows) + 1):
+            assert compose_ranking(rows, k=k) == full[:k]
+
+    def test_identical_rows_tie_broken_by_position(self):
+        """Even fully identical rows (equal bindings *and* ranks) must
+        not trip the heap path: the arrival index decorates the heap
+        entries, so Row objects are never compared."""
+        row = _row(ranks=[("a", 1)], X=0)
+        rows = [row, _row(ranks=[("a", 1)], X=0), row]
+        for k in range(len(rows) + 1):
+            assert compose_ranking(rows, k=k) == rows[:k]
+
 
 class TestResultTable:
     def test_top_and_tuples(self):
