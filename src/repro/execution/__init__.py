@@ -25,6 +25,13 @@ from repro.execution.joins import (
     merge_scan_order,
     nested_loop_order,
 )
+from repro.execution.lazy import (
+    FetchedPage,
+    LazyServiceCursor,
+    ListPageSource,
+    MaterializedCursor,
+    RowCursor,
+)
 from repro.execution.progressive import ProgressiveExecutor, ProgressiveRound
 from repro.execution.results import ResultTable, Row, compose_ranking
 from repro.execution.stats import ExecutionStats, ServiceCallStats
@@ -36,12 +43,17 @@ __all__ = [
     "ExecutionMode",
     "ExecutionResult",
     "ExecutionStats",
+    "FetchedPage",
     "JoinStream",
+    "LazyServiceCursor",
+    "ListPageSource",
     "LogicalCache",
+    "MaterializedCursor",
     "NoCache",
     "OneCallCache",
     "OptimalCache",
     "ProgressiveExecutor",
+    "RowCursor",
     "ProgressiveRound",
     "ResultTable",
     "Row",

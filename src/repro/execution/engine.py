@@ -31,13 +31,22 @@ aggregates them according to the scheduling mode —
   given the final parallel join runs as a suspended
   :class:`~repro.execution.joins.JoinStream`: the candidate plane is
   walked lazily and the execution stops with a certificate that the
-  top-k is complete, skipping the unvisited cells entirely.  The
-  result table is truncated to the proven top-k (``complete`` is False
-  when answers beyond k were neither produced nor disproven), and the
-  suspended stream rides along on the :class:`ExecutionResult` so
-  "ask for more" can resume the walk without re-executing the plan.
-  Streamed results are bit-identical to ``compose_ranking`` over a
-  full-scan execution — the oracle the hypothesis suite checks.
+  top-k is complete, skipping the unvisited cells entirely.  Service
+  nodes feeding that join from a single input tuple are not
+  materialized up front at all: they are wrapped in
+  :class:`~repro.execution.lazy.LazyServiceCursor` and their pages are
+  fetched only as the walk demands deeper rows, so early exit saves
+  *remote service fetches* — the quantity the paper's cost model
+  optimizes — not just join work (``lazy_calls_saved`` /
+  ``lazy_tuples_fetched`` on the statistics trace the saving;
+  multi-tuple feeds fall back to eager materialization, results
+  identical).  The result table is truncated to the proven top-k
+  (``complete`` is False when answers beyond k were neither produced
+  nor disproven), and the suspended stream rides along on the
+  :class:`ExecutionResult` so "ask for more" can resume the walk
+  without re-executing the plan.  Streamed results are bit-identical
+  to ``compose_ranking`` over a full-scan execution — the oracle the
+  hypothesis suite checks.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ from typing import Mapping, Sequence
 
 from repro.execution.cache import CacheSetting, LogicalCache, make_cache
 from repro.execution.joins import JoinStream, execute_join_hashed
+from repro.execution.lazy import FetchedPage, LazyServiceCursor
 from repro.execution.results import ResultTable, Row, compose_ranking
 from repro.execution.stats import ExecutionStats
 from repro.model.terms import Constant, Variable
@@ -62,7 +72,34 @@ class ExecutionError(RuntimeError):
 
 
 class ExecutionMode(Enum):
-    """Scheduling modes of the engine."""
+    """Scheduling modes of the engine.
+
+    All four modes produce the *same answers* for the same plan — they
+    differ in how virtual time is aggregated and how much work is done
+    to produce a top-k head:
+
+    * ``SEQUENTIAL`` — one thread; elapsed time is the sum of all
+      service latencies.
+    * ``PARALLEL`` — independent branches overlap; elapsed time is the
+      critical path over the plan DAG.  This is the reference
+      full-materialization mode: every service is fully fetched and
+      every join scans its whole candidate plane.
+    * ``MULTITHREADED`` — additionally dispatches each node's calls to
+      parallel threads (node busy time collapses to its largest single
+      latency plus overhead); input block order is shuffled, degrading
+      the one-call cache as the paper observes.
+    * ``STREAMED`` — timing as ``PARALLEL``; with a ``k`` budget the
+      final parallel join early-exits under a rank certificate and its
+      single-feed service inputs are fetched lazily, page by page, on
+      the walk's demand.  **Equivalence contract**: the produced rows,
+      ranks, and emission order are bit-identical to ``PARALLEL``
+      execution followed by ``compose_ranking(rows, k)``; only the
+      cost (cells visited, pages fetched) changes.  Without ``k`` the
+      execution is a plain full materialization; with ``k`` but no
+      streamable final join (plans whose output is fed directly by a
+      service node) it falls back to full materialization and raises
+      ``ExecutionStats.streamed_fallback``, results identical.
+    """
 
     SEQUENTIAL = "sequential"
     PARALLEL = "parallel"
@@ -83,8 +120,11 @@ class ExecutionResult:
 
     ``stream`` is the suspended :class:`JoinStream` of a streamed
     top-k execution (``None`` otherwise): calling ``stream.top`` with
-    a larger ``k`` resumes the early-exited walk over the already
-    materialized join inputs without issuing a single service call.
+    a larger ``k`` resumes the early-exited walk.  Over eagerly
+    materialized join inputs a resume never issues a service call;
+    over lazily fetched inputs it may pull further pages *within the
+    round's fetch budget* (call ``stream.rebind_stats`` first so those
+    fetches are accounted to the resuming round).
     """
 
     table: ResultTable
@@ -126,12 +166,18 @@ class ExecutionEngine:
         mode: ExecutionMode = ExecutionMode.PARALLEL,
         thread_overhead: float = 0.05,
         shuffle_seed: int = 17,
+        lazy_streaming: bool = True,
     ) -> None:
         self._registry = registry
         self._cache_setting = cache_setting
         self._mode = mode
         self._thread_overhead = thread_overhead
         self._shuffle_seed = shuffle_seed
+        #: Under STREAMED with a k budget, fetch the final join's
+        #: single-feed service inputs on demand; False restores PR 2's
+        #: eager materialization (same results, more remote fetches) —
+        #: the baseline the lazy bench measures against.
+        self._lazy_streaming = lazy_streaming
 
     def execute(
         self,
@@ -169,7 +215,22 @@ class ExecutionEngine:
             if self._mode is ExecutionMode.STREAMED and k is not None
             else None
         )
+        if (
+            self._mode is ExecutionMode.STREAMED
+            and k is not None
+            and streaming_join is None
+        ):
+            # Full-materialization fallback (service-terminal plan):
+            # flag it so the zeroed streaming/lazy counters cannot be
+            # mistaken for a stream that visited nothing.
+            stats.streamed_fallback = True
         stream: JoinStream | None = None
+        lazy_candidates = (
+            self._lazy_input_ids(plan, streaming_join)
+            if streaming_join is not None and self._lazy_streaming
+            else frozenset()
+        )
+        lazy_cursors: dict[str, LazyServiceCursor] = {}
 
         outputs: dict[str, list[Row]] = {}
         busy: dict[str, float] = {}
@@ -178,14 +239,29 @@ class ExecutionEngine:
                 outputs[node.node_id] = [Row(bindings={})]
                 busy[node.node_id] = 0.0
             elif isinstance(node, ServiceNode):
-                rows, node_busy = self._run_service_node(
-                    plan, node, outputs, cache, stats, rng
+                cursor = (
+                    self._open_lazy_cursor(plan, node, outputs, cache, stats)
+                    if node.node_id in lazy_candidates
+                    else None
                 )
-                outputs[node.node_id] = rows
-                busy[node.node_id] = node_busy
+                if cursor is not None:
+                    lazy_cursors[node.node_id] = cursor
+                    # The cursor's row list is live: it grows as the
+                    # streamed walk demands pages, so the node-size
+                    # snapshot below sees exactly what was fetched.
+                    outputs[node.node_id] = cursor.rows
+                    busy[node.node_id] = 0.0
+                else:
+                    rows, node_busy = self._run_service_node(
+                        plan, node, outputs, cache, stats, rng
+                    )
+                    outputs[node.node_id] = rows
+                    busy[node.node_id] = node_busy
             elif isinstance(node, JoinNode):
                 if node is streaming_join:
-                    stream = self._open_join_stream(plan, node, outputs)
+                    stream = self._open_join_stream(
+                        plan, node, outputs, lazy_cursors
+                    )
                     rows = stream.top(k)
                 else:
                     rows = self._run_join_node(plan, node, outputs)
@@ -198,6 +274,10 @@ class ExecutionEngine:
             else:
                 raise ExecutionError(f"unknown node type {type(node).__name__}")
 
+        for node_id, cursor in lazy_cursors.items():
+            busy[node_id] = self._node_busy(cursor.latencies)
+            stats.lazy_tuples_fetched += cursor.tuples_fetched
+            stats.lazy_calls_saved += cursor.pages_saved()
         stats.elapsed = self._elapsed(plan, busy)
         produced = outputs[plan.output_node.node_id]
         if stream is not None:
@@ -276,7 +356,10 @@ class ExecutionEngine:
                 else:
                     result = service.invoke(node.pattern, inputs, page=page)
                     cache.store(node.service_name, input_key, page, result)
-                    service_stats.record_fetch(result.latency, result.from_remote_cache)
+                    service_stats.record_fetch(
+                        result.latency, result.from_remote_cache,
+                        len(result.tuples),
+                    )
                     latencies.append(result.latency)
                     issued_remote = True
                 pages.append(result)
@@ -372,14 +455,22 @@ class ExecutionEngine:
         plan: QueryPlan,
         node: JoinNode,
         outputs: dict[str, list[Row]],
+        lazy_cursors: Mapping[str, LazyServiceCursor] = {},
     ) -> JoinStream:
         """Suspended streamed execution of the plan's final join.
 
         The output node's residual predicates are pushed into the
         stream so that the early-exit certificate counts exactly the
-        rows that survive to the final answer.
+        rows that survive to the final answer.  Inputs with a deferred
+        lazy cursor are passed as cursors (pulled page by page by the
+        walk); the rest are the eagerly materialized row lists.
         """
-        left, right = self._join_inputs(plan, node, outputs)
+        predecessors = plan.predecessors(node)
+        if len(predecessors) != 2:
+            raise ExecutionError(f"join {node.label} must have two predecessors")
+        left, right = (
+            lazy_cursors.get(p.node_id, outputs[p.node_id]) for p in predecessors
+        )
         return JoinStream(
             node.method,
             left,
@@ -387,6 +478,57 @@ class ExecutionEngine:
             node.predicates,
             residual_predicates=plan.output_node.residual_predicates,
         )
+
+    @staticmethod
+    def _lazy_input_ids(
+        plan: QueryPlan, streaming_join: JoinNode
+    ) -> frozenset[str]:
+        """Service nodes eligible for demand-driven fetching.
+
+        A predecessor of the streamed join qualifies when it is a
+        service node whose *only* consumer is that join: no other node
+        may observe its output, so leaving part of it unfetched cannot
+        change any other dataflow.  (The single-feed condition, which
+        guarantees rank monotonicity, is checked per execution once the
+        feed is known — see :meth:`_open_lazy_cursor`.)
+        """
+        eligible = []
+        for predecessor in plan.predecessors(streaming_join):
+            if not isinstance(predecessor, ServiceNode):
+                continue
+            successors = plan.successors(predecessor)
+            if len(successors) == 1 and successors[0] is streaming_join:
+                eligible.append(predecessor.node_id)
+        return frozenset(eligible)
+
+    def _open_lazy_cursor(
+        self,
+        plan: QueryPlan,
+        node: ServiceNode,
+        outputs: dict[str, list[Row]],
+        cache: LogicalCache,
+        stats: ExecutionStats,
+    ) -> LazyServiceCursor | None:
+        """A demand-driven cursor over *node*, or None to stay eager.
+
+        Only single-feed nodes are wrapped: with one input tuple the
+        produced rank keys are non-decreasing (the feed rank is
+        constant and service ranks only grow), which is what makes the
+        lazy certificate's rank floor sound.  Multi-tuple feeds
+        interleave restarting rank sequences, so they take the full-
+        fetch fallback — the caller materializes them eagerly, exactly
+        as before.
+        """
+        predecessors = plan.predecessors(node)
+        if len(predecessors) != 1:
+            raise ExecutionError(
+                f"service node {node.label} must have exactly one predecessor"
+            )
+        feed = outputs[predecessors[0].node_id]
+        if len(feed) != 1:
+            return None
+        source = _LazyServicePageSource(self, node, feed[0], cache, stats)
+        return LazyServiceCursor(source, base_rank=feed[0].rank_key())
 
     def _join_inputs(
         self,
@@ -454,6 +596,117 @@ class ExecutionEngine:
             )
             finish[node.node_id] = start + busy[node.node_id]
         return finish[plan.output_node.node_id]
+
+
+class _LazyServicePageSource:
+    """Fetches one service node's pages on demand (engine collaborator).
+
+    Implements the :class:`~repro.execution.lazy.PageSource` protocol
+    for a single-feed service node: each ``fetch(page)`` performs the
+    logical-cache lookup, the remote invocation, the statistics
+    accounting, and the output binding that eager execution would have
+    performed for that page — just later, and only if demanded.
+    ``budget`` is the node's fetching factor, so the lazy universe is
+    exactly the eager one.
+
+    Call/hit accounting matches the eager engine's per-input-tuple
+    semantics within each statistics *epoch* (one execution, or one
+    resumed round after :meth:`swap_stats`): the first remote page of
+    an epoch counts one call; an epoch served purely from the logical
+    cache counts one cache hit.
+    """
+
+    def __init__(
+        self,
+        engine: ExecutionEngine,
+        node: ServiceNode,
+        feed_row: Row,
+        cache: LogicalCache,
+        stats: ExecutionStats,
+    ) -> None:
+        assert node.pattern is not None
+        self._service = engine._registry.service(node.service_name)
+        self._node = node
+        self._feed_row = feed_row
+        self._cache = cache
+        self._stats = stats
+        input_spec, self._output_terms = engine._node_layout(node)
+        bindings = feed_row.bindings
+        inputs: dict[int, object] = {}
+        for position, constant_value, term in input_spec:
+            if term is None:
+                inputs[position] = constant_value
+            else:
+                if term not in bindings:
+                    raise ExecutionError(
+                        f"unbound input variable {term} at {node.label}"
+                    )
+                inputs[position] = bindings[term]
+        self._inputs = inputs
+        self._input_key = (node.pattern.code, tuple(inputs.items()))
+        self.budget = node.fetches
+        self._rank_floor = 0
+        self._epoch_pages = 0
+        self._epoch_remote = False
+        self._epoch_counted_hit = False
+
+    def swap_stats(self, stats: object) -> None:
+        """Start a new accounting epoch on *stats* (resumed rounds)."""
+        assert isinstance(stats, ExecutionStats)
+        self._stats = stats
+        self._epoch_pages = 0
+        self._epoch_remote = False
+        self._epoch_counted_hit = False
+
+    def fetch(self, page: int) -> FetchedPage:
+        node = self._node
+        name = node.service_name
+        service_stats = self._stats.service(name)
+        cached = self._cache.lookup(name, self._input_key, page)
+        latency: float | None = None
+        if cached is not None:
+            result = cached
+        else:
+            assert node.pattern is not None
+            result = self._service.invoke(node.pattern, self._inputs, page=page)
+            self._cache.store(name, self._input_key, page, result)
+            service_stats.record_fetch(
+                result.latency, result.from_remote_cache, len(result.tuples)
+            )
+            latency = result.latency
+        if cached is None:
+            if not self._epoch_remote:
+                service_stats.calls += 1
+                if self._epoch_counted_hit:
+                    service_stats.cache_hits -= 1
+                    self._epoch_counted_hit = False
+                self._epoch_remote = True
+        elif self._epoch_pages == 0:
+            service_stats.cache_hits += 1
+            self._epoch_counted_hit = True
+        self._epoch_pages += 1
+
+        rows: list[Row] = []
+        ranks = result.ranks or (None,) * len(result.tuples)
+        for values, rank in zip(result.tuples, ranks):
+            merged = ExecutionEngine._bind_outputs(
+                self._feed_row, values, self._output_terms
+            )
+            if merged is None:
+                continue
+            if rank is not None:
+                merged = merged.with_rank(node.node_id, rank)
+            if all(p.holds(merged.bindings) for p in node.predicates):
+                rows.append(merged)
+        if result.ranks:
+            self._rank_floor = max(self._rank_floor, result.ranks[-1] + 1)
+        return FetchedPage(
+            rows=tuple(rows),
+            raw_tuples=len(result.tuples),
+            has_more=result.has_more,
+            rank_floor=self._rank_floor,
+            latency=latency,
+        )
 
 
 def execute_plan(

@@ -40,6 +40,7 @@ import heapq
 import math
 from typing import Iterable, Iterator, Sequence
 
+from repro.execution.lazy import MaterializedCursor, RowCursor
 from repro.execution.results import Row
 from repro.model.predicates import Comparison
 from repro.model.terms import Variable
@@ -244,14 +245,6 @@ def execute_join_hashed(
     return output
 
 
-def _suffix_minima(values: Sequence[int]) -> list[float]:
-    """``out[i] = min(values[i:])`` with ``out[len(values)] = +inf``."""
-    minima: list[float] = [math.inf] * (len(values) + 1)
-    for index in range(len(values) - 1, -1, -1):
-        minima[index] = min(values[index], minima[index + 1])
-    return minima
-
-
 class JoinStream:
     """Streaming early-exit top-k execution of a rank-preserving join.
 
@@ -270,39 +263,48 @@ class JoinStream:
     order (see :func:`~repro.execution.results.compose_ranking`), which
     every unvisited cell loses against every collected candidate.
 
+    **Lazy inputs.**  Either input may be a
+    :class:`~repro.execution.lazy.RowCursor` instead of a materialized
+    sequence; plain sequences are wrapped in a
+    :class:`~repro.execution.lazy.MaterializedCursor`.  The walk then
+    *pulls* rows on demand — an MS diagonal ``s`` needs only the first
+    ``s + 1`` rows of each side, an NL row stage needs one more outer
+    row (plus the full inner side) — and the certificate bounds the
+    cells over never-fetched rows through the cursors'
+    :meth:`~repro.execution.lazy.RowCursor.suffix_min` (sound for
+    rank-monotone lazy inputs; non-monotone cursors fall back to a full
+    fetch).  Early exit therefore saves *remote page fetches*, not just
+    join work, while the emitted rows stay exactly the oracle's.
+
     Hence :meth:`top` is bit-identical — same rows, same ranks, same
     order — to filtering ``execute_join(method, left, right,
-    predicates)`` by *residual_predicates* and then applying
-    ``compose_ranking(..., k)`` (filter first, then compose: the same
-    order the engine's output node applies them in), while visiting
-    only a prefix of the plane.  The stream is
-    **resumable**: calling :meth:`top` again with a larger ``k``
-    continues the suspended walk from the first unvisited stage,
-    re-using every candidate already collected — no cell is ever
-    visited twice.  ``cells_visited`` / ``cells_skipped`` expose the
+    predicates)`` over the fully-fetched inputs by
+    *residual_predicates* and then applying ``compose_ranking(..., k)``
+    (filter first, then compose: the same order the engine's output
+    node applies them in), while visiting only a prefix of the plane.
+    The stream is **resumable**: calling :meth:`top` again with a
+    larger ``k`` continues the suspended walk from the first unvisited
+    stage, re-using every candidate already collected — no cell is
+    ever visited twice (resuming over lazy inputs may pull further
+    budgeted pages).  ``cells_visited`` / ``cells_skipped`` expose the
     early-exit bookkeeping for the execution statistics.
     """
 
     def __init__(
         self,
         method: JoinMethod,
-        left: Sequence[Row],
-        right: Sequence[Row],
+        left: Sequence[Row] | RowCursor,
+        right: Sequence[Row] | RowCursor,
         predicates: Sequence[Comparison] = (),
         residual_predicates: Sequence[Comparison] = (),
     ) -> None:
         self._method = method
-        self._left = list(left)
-        self._right = list(right)
+        self._left = left if isinstance(left, RowCursor) else MaterializedCursor(left)
+        self._right = (
+            right if isinstance(right, RowCursor) else MaterializedCursor(right)
+        )
         self._predicates = tuple(predicates)
         self._residual = tuple(residual_predicates)
-        self._n = len(self._left)
-        self._m = len(self._right)
-        self._left_ranks = [row.rank_key() for row in self._left]
-        self._right_ranks = [row.rank_key() for row in self._right]
-        self._left_suffix = _suffix_minima(self._left_ranks)
-        self._right_suffix = _suffix_minima(self._right_ranks)
-        self._num_stages = stage_count(method, self._n, self._m)
         self._stage = 0
         #: (composed rank, arrival index, row) — arrival indexes are the
         #: candidate's position in the full-scan emission order, making
@@ -320,23 +322,73 @@ class JoinStream:
 
     @property
     def plane_cells(self) -> int:
-        """Total number of cells of the candidate plane (``n × m``)."""
-        return self._n * self._m
+        """Cells of the currently *fetched* candidate plane.
+
+        For materialized inputs this is the full ``n × m`` plane; for
+        lazy inputs it counts only fetched rows — cells over rows that
+        were never pulled are accounted as saved remote work by the
+        lazy-fetch statistics, not as skipped cells.
+        """
+        return len(self._left.rows) * len(self._right.rows)
 
     @property
     def cells_skipped(self) -> int:
-        """Cells proven unable to enter the top-k without being visited."""
+        """Fetched-plane cells proven unable to enter the top-k without
+        being visited."""
         return self.plane_cells - self.cells_visited
 
     @property
     def exhausted(self) -> bool:
-        """True when the whole plane has been visited."""
-        return self._stage >= self._num_stages
+        """True when every cell of the (fully fetched) plane was visited."""
+        left, right = self._left, self._right
+        if left.exhausted and not left.rows:
+            return True
+        if right.exhausted and not right.rows:
+            return True
+        if not (left.exhausted and right.exhausted):
+            return False
+        return self._stage >= stage_count(
+            self._method, len(left.rows), len(right.rows)
+        )
 
     @property
     def candidate_count(self) -> int:
         """Candidates collected so far (post join + residual predicates)."""
         return len(self._candidates)
+
+    @property
+    def lazy_tuples_fetched(self) -> int:
+        """Raw service tuples pulled through lazy input cursors so far."""
+        return sum(
+            getattr(cursor, "tuples_fetched", 0)
+            for cursor in (self._left, self._right)
+        )
+
+    @property
+    def lazy_pages_saved(self) -> int:
+        """Budgeted page fetches still unissued right now.
+
+        A point-in-time snapshot that only shrinks as resumes pull
+        further pages — re-read it after each :meth:`top` call for the
+        current figure.
+        """
+        total = 0
+        for cursor in (self._left, self._right):
+            saved = getattr(cursor, "pages_saved", None)
+            if saved is not None:
+                total += saved()
+        return total
+
+    def rebind_stats(self, stats: object) -> None:
+        """Point lazy input accounting at *stats* (resumed rounds).
+
+        Fetches demanded after an execution returned (a progressive
+        "ask for more" resuming the suspended stream) must be recorded
+        on the resuming round's statistics, not silently mutate the
+        round that created the stream.  No-op for materialized inputs.
+        """
+        self._left.swap_stats(stats)
+        self._right.swap_stats(stats)
 
     @property
     def join_rows_emitted(self) -> int:
@@ -353,11 +405,36 @@ class JoinStream:
     # -- the walk ------------------------------------------------------------
 
     def _advance_stage(self) -> None:
-        """Visit every cell of the next stage, collecting candidates."""
+        """Visit every cell of the next stage, collecting candidates.
+
+        Demands exactly the rows the stage can touch: one more outer
+        row for NL (plus the whole inner side, which every NL stage
+        scans), one more row *per side* for an MS diagonal.  After the
+        demand, the known lengths determine the stage's exact cell set:
+        an unexhausted cursor holds at least ``stage + 1`` rows, so the
+        boundary formulas of :func:`stage_cells` apply unchanged.
+        """
+        stage = self._stage
         left, right = self._left, self._right
-        for i, j in stage_cells(self._method, self._n, self._m, self._stage):
+        left.ensure(stage + 1)
+        if self._method is JoinMethod.NESTED_LOOP:
+            right.ensure_all()
+        else:
+            right.ensure(stage + 1)
+        n, m = len(left.rows), len(right.rows)
+        if self._method is JoinMethod.NESTED_LOOP:
+            cells: Iterable[tuple[int, int]] = (
+                ((stage, j) for j in range(m)) if stage < n else ()
+            )
+        else:
+            start = max(0, stage - m + 1)
+            stop = min(stage, n - 1)
+            cells = ((i, stage - i) for i in range(start, stop + 1))
+        left_rows, right_rows = left.rows, right.rows
+        left_ranks, right_ranks = left.ranks, right.ranks
+        for i, j in cells:
             self.cells_visited += 1
-            merged = left[i].merged_with(right[j])
+            merged = left_rows[i].merged_with(right_rows[j])
             if merged is None:
                 continue
             if not all(p.holds(merged.bindings) for p in self._predicates):
@@ -365,7 +442,7 @@ class JoinStream:
             self._join_rows_emitted += 1
             if not all(p.holds(merged.bindings) for p in self._residual):
                 continue
-            rank = self._left_ranks[i] + self._right_ranks[j]
+            rank = left_ranks[i] + right_ranks[j]
             self._candidates.append((rank, len(self._candidates), merged))
         self._stage += 1
 
@@ -377,19 +454,28 @@ class JoinStream:
         ranks)``.  MS (diagonal stages): the unvisited region is
         ``i + j >= stage``; rows ``i >= stage`` may pair with any
         column (one suffix lookup), rows ``i < stage`` only with
-        columns ``j >= stage - i`` (one suffix lookup each, at most
-        ``min(stage, m - 1)`` rows).
+        columns ``j >= stage - i`` (one suffix lookup each).  Cursor
+        ``suffix_min`` bounds never-fetched rows through their rank
+        floor, so the bound stays sound for partially fetched lazy
+        inputs: every fetched index below ``stage`` is covered by the
+        per-row loop (the previous stage's demand guarantees the
+        fetched prefix reaches ``min(stage, n)``), and everything
+        beyond the fetched prefix is covered by a floor term.
         """
         if self.exhausted:
             return math.inf
+        left, right = self._left, self._right
+        stage = self._stage
         if self._method is JoinMethod.NESTED_LOOP:
-            return self._left_suffix[self._stage] + self._right_suffix[0]
-        stage, n, m = self._stage, self._n, self._m
+            return left.suffix_min(stage) + right.suffix_min(0)
+        n_known, m_known = len(left.rows), len(right.rows)
         best = math.inf
-        if stage < n:
-            best = self._left_suffix[stage] + self._right_suffix[0]
-        for i in range(max(0, stage - m + 1), min(stage, n)):
-            bound = self._left_ranks[i] + self._right_suffix[stage - i]
+        if not left.exhausted or stage < n_known:
+            best = left.suffix_min(stage) + right.suffix_min(0)
+        start = max(0, stage - m_known + 1) if right.exhausted else 0
+        left_ranks = left.ranks
+        for i in range(start, min(stage, n_known)):
+            bound = left_ranks[i] + right.suffix_min(stage - i)
             if bound < best:
                 best = bound
         return best
@@ -397,15 +483,24 @@ class JoinStream:
     def top(self, k: int | None = None) -> list[Row]:
         """The top-*k* composed rows; resumes the suspended walk.
 
-        ``None`` (or a negative ``k``, mirroring
+        **Contract**: the returned rows, their ranks, and their order
+        are bit-identical to ``compose_ranking(full_join_rows, k)``
+        where ``full_join_rows`` is the residual-filtered full-plane
+        join over the *fully fetched* inputs — regardless of how much
+        of the plane was actually visited or fetched.  ``None`` (or a
+        negative ``k``, mirroring
         :func:`~repro.execution.results.compose_ranking`) drains the
         whole plane and returns every row in composed order.
 
-        The certificate check keeps an incremental bounded max-heap of
-        the current k best ``(rank, arrival)`` keys (rebuilt once per
-        call, O(log k) per new candidate), so a late-firing exit costs
-        one heap update per candidate rather than a rescan of the
-        whole candidate list after every stage.
+        **Cost**: visits ``O(k)`` stages on rank-monotone inputs
+        instead of the ``n × m`` plane, and over lazy cursors pulls
+        only the pages those stages demand — so a small ``k`` costs a
+        handful of remote fetches.  The certificate check keeps an
+        incremental bounded max-heap of the current k best ``(rank,
+        arrival)`` keys (rebuilt once per call, O(log k) per new
+        candidate), so a late-firing exit costs one heap update per
+        candidate rather than a rescan of the whole candidate list
+        after every stage.
         """
         if k is not None and k < 0:
             k = None
@@ -447,8 +542,8 @@ class JoinStream:
 
 def execute_join_streamed(
     method: JoinMethod,
-    left: Sequence[Row],
-    right: Sequence[Row],
+    left: Sequence[Row] | RowCursor,
+    right: Sequence[Row] | RowCursor,
     predicates: Sequence[Comparison] = (),
     k: int | None = None,
 ) -> list[Row]:

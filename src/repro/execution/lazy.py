@@ -1,0 +1,356 @@
+"""Demand-driven lazy service fetching for the streamed pipeline.
+
+The streamed top-k pipeline of :mod:`repro.execution.joins` saves
+*join work*: it early-exits the candidate-plane walk once a certificate
+proves the top-k complete.  The paper's cost model, however, is
+dominated by **remote service invocations and page fetches** — to save
+those, the inputs of the streamed join must themselves be fetched on
+demand, pulled page by page as the walk's stages require them (the
+pull-based discipline of rank-join/HRJN-style operators).
+
+This module provides the cursor abstraction that makes that sound:
+
+* :class:`RowCursor` — the interface :class:`~repro.execution.joins.
+  JoinStream` pulls its two inputs through: a growing fetched prefix of
+  rows (``rows`` / ``ranks``), demand methods (:meth:`~RowCursor.
+  ensure`, :meth:`~RowCursor.ensure_all`), and the certificate hook
+  :meth:`~RowCursor.suffix_min` bounding every row — fetched or not —
+  from a given index on;
+* :class:`MaterializedCursor` — wraps an already-materialized list of
+  rows (what eager execution produces); everything is known up front;
+* :class:`LazyServiceCursor` — wraps a service invocation (through a
+  :class:`PageSource` owned by the execution engine) and fetches pages
+  only when the walk demands deeper rows.
+
+**Soundness of the certificate with partially fetched inputs.**  The
+streamed join suspends when a lower bound on the composed rank of every
+*unvisited* cell reaches the current k-th candidate's rank.  With lazy
+inputs, unvisited cells include cells over rows that were never
+fetched.  A :class:`LazyServiceCursor` is *rank-monotone* when the
+rank keys of its produced rows arrive in non-decreasing order — which
+is structurally guaranteed for a service node fed by a **single** input
+tuple, because every produced row's rank key is the feed row's constant
+rank plus the service's own 0-based rank index, and search services
+emit rank indexes in increasing order across pages (exact services add
+no rank at all, so the sequence is constant).  For such a cursor the
+page source's **rank floor** (the smallest service-rank any not-yet-
+fetched tuple can have, i.e. the number of raw tuples already seen)
+plus the feed row's base rank is a sound lower bound on every unfetched
+row, so :meth:`~RowCursor.suffix_min` never underestimates.  If
+monotonicity is ever observed to fail (a defensive guard — it cannot
+happen for single-feed table services), the cursor **falls back to a
+full fetch**: it drains the remaining budgeted pages, after which the
+exact suffix minima over the complete row list are used, exactly as in
+eager execution.  Service nodes with multi-row feeds are never wrapped
+lazily in the first place (their rank sequences restart per feed
+tuple); the engine materializes them eagerly, which is the same
+fallback expressed statically.
+
+The **fetch universe** of a lazy cursor is identical to what eager
+execution would materialize: at most the node's fetch budget ``F``
+pages, stopping early when the service reports no more results.  Lazy
+fetching therefore never changes *which* rows exist — only how many of
+them are actually pulled — which is what keeps the streamed pipeline
+bit-identical (rows, ranks, emission order) to the full-scan oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.execution.results import Row
+
+
+@dataclass(frozen=True)
+class FetchedPage:
+    """One page pulled through a :class:`PageSource`.
+
+    ``rows`` are the *produced* rows of the page: service tuples bound
+    against the feed row, filtered by the node's predicates — exactly
+    what eager execution would have appended for this page.
+    ``raw_tuples`` counts the tuples the service returned before
+    binding/filtering.  ``rank_floor`` is a lower bound on the
+    service-rank index of every tuple in any *later* page (0 when the
+    service is unranked), and ``latency`` is the reported fetch latency
+    (``None`` when the page was answered by the logical cache and no
+    remote fetch happened).
+    """
+
+    rows: tuple[Row, ...]
+    raw_tuples: int
+    has_more: bool
+    rank_floor: int = 0
+    latency: float | None = None
+
+
+class PageSource(Protocol):
+    """What a :class:`LazyServiceCursor` pulls pages from.
+
+    The execution engine implements this over a service node: one
+    ``fetch(page)`` performs the cache lookup, the remote invocation,
+    the statistics accounting, and the output binding for that page.
+    ``budget`` is the node's fetching factor ``F`` — the cursor never
+    requests a page beyond it.  ``swap_stats`` rebinds the accounting
+    sink, so fetches demanded by a *resumed* stream are recorded on the
+    resuming round's statistics instead of mutating an older round's.
+    """
+
+    budget: int
+
+    def fetch(self, page: int) -> FetchedPage: ...
+
+    def swap_stats(self, stats: object) -> None: ...
+
+
+class RowCursor:
+    """A pull-based input of the streamed join.
+
+    The fetched prefix is exposed as ``rows`` (and the parallel
+    ``ranks`` list of their aggregated rank keys); :meth:`ensure`
+    grows it on demand.  :meth:`suffix_min` is the certificate hook:
+    a sound lower bound on the rank key of **every** row — fetched or
+    not — whose index is ``>= start``.  Subclasses must keep it sound;
+    the early-exit guarantee of the streamed pipeline rests on it.
+    """
+
+    rows: list[Row]
+    ranks: list[int]
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further row can ever be fetched."""
+        raise NotImplementedError
+
+    def ensure(self, count: int) -> None:
+        """Fetch until at least *count* rows are known, or exhausted."""
+        raise NotImplementedError
+
+    def ensure_all(self) -> None:
+        """Fetch the whole universe (what eager execution holds)."""
+        raise NotImplementedError
+
+    def suffix_min(self, start: int) -> float:
+        """Lower bound on ``rank_key`` of every row at index >= *start*.
+
+        Covers unfetched rows too; ``+inf`` when no such row exists.
+        """
+        raise NotImplementedError
+
+    def swap_stats(self, stats: object) -> None:
+        """Rebind statistics accounting (no-op for materialized rows)."""
+        return None
+
+
+def _suffix_minima(values: Sequence[int]) -> list[float]:
+    """``out[i] = min(values[i:])`` with ``out[len(values)] = +inf``."""
+    minima: list[float] = [math.inf] * (len(values) + 1)
+    for index in range(len(values) - 1, -1, -1):
+        minima[index] = min(values[index], minima[index + 1])
+    return minima
+
+
+class MaterializedCursor(RowCursor):
+    """A cursor over rows that are already fully materialized.
+
+    This is the adapter between eager upstream execution and the
+    streamed join: suffix minima are computed once, ``ensure`` is a
+    no-op, and the certificate behaves exactly as in the original
+    (PR 2) fully-materialized pipeline.
+    """
+
+    def __init__(self, rows: Sequence[Row]) -> None:
+        self.rows = list(rows)
+        self.ranks = [row.rank_key() for row in self.rows]
+        self._suffix = _suffix_minima(self.ranks)
+
+    @property
+    def exhausted(self) -> bool:
+        return True
+
+    def ensure(self, count: int) -> None:
+        return None
+
+    def ensure_all(self) -> None:
+        return None
+
+    def suffix_min(self, start: int) -> float:
+        if start >= len(self.ranks):
+            return math.inf
+        return self._suffix[start]
+
+
+class LazyServiceCursor(RowCursor):
+    """Demand-driven cursor over one service node's paged results.
+
+    Pages are pulled from the engine-owned :class:`PageSource` only
+    when the streamed walk demands rows that are not yet fetched; the
+    universe (at most ``source.budget`` pages, stopping early when the
+    service runs dry) is identical to eager materialization, so results
+    stay bit-identical to the full-scan oracle while unfetched pages
+    are *saved remote work*.
+
+    ``base_rank`` is the feed row's aggregated rank (constant across
+    all produced rows).  While the observed row ranks stay monotone,
+    ``suffix_min`` bounds the unfetched suffix by ``base_rank +
+    rank_floor`` (see the module docstring for the soundness argument);
+    on a monotonicity violation the cursor drains the remaining budget
+    and the exact suffix minima take over.
+
+    Cost counters: ``pages_fetched`` / ``tuples_fetched`` /
+    ``latencies`` describe the remote work actually performed;
+    :meth:`pages_saved` is the number of budgeted page fetches that
+    were never issued (an upper bound on the saving when the service
+    would have run dry mid-budget, exact otherwise — eager execution
+    stops at the same ``has_more`` signals the cursor observes).
+    """
+
+    def __init__(self, source: PageSource, base_rank: int = 0) -> None:
+        self._source = source
+        self._base_rank = base_rank
+        self.rows = []
+        self.ranks = []
+        self._suffix: list[float] = [math.inf]
+        self._monotone = True
+        self._saw_end = False
+        self._rank_floor = 0
+        self.pages_fetched = 0
+        self.tuples_fetched = 0
+        self.latencies: list[float] = []
+
+    @property
+    def exhausted(self) -> bool:
+        return self._saw_end or self.pages_fetched >= self._source.budget
+
+    @property
+    def budget(self) -> int:
+        """The fetch budget ``F`` of the wrapped node."""
+        return self._source.budget
+
+    def pages_saved(self) -> int:
+        """Budgeted page fetches never issued (0 once the service ran dry)."""
+        if self._saw_end:
+            return 0
+        return max(0, self._source.budget - self.pages_fetched)
+
+    def ensure(self, count: int) -> None:
+        while len(self.rows) < count and not self.exhausted:
+            self._fetch_next()
+        if not self._monotone:
+            self.ensure_all()
+
+    def ensure_all(self) -> None:
+        while not self.exhausted:
+            self._fetch_next()
+
+    def suffix_min(self, start: int) -> float:
+        if not self._monotone and not self.exhausted:
+            # An observed violation means the source's rank sequence is
+            # untrustworthy; drain to the exact suffix minima instead.
+            self.ensure_all()
+        floor = (
+            math.inf
+            if self.exhausted
+            else self._base_rank + self._rank_floor
+        )
+        if start < len(self.ranks):
+            # Indexes >= start span both fetched rows (exact suffix
+            # minima) and every unfetched row (bounded by the floor —
+            # which can undercut the fetched suffix, so it must always
+            # participate while rows may still arrive).
+            return min(self._suffix[start], floor)
+        return floor
+
+    def swap_stats(self, stats: object) -> None:
+        self._source.swap_stats(stats)
+
+    def _fetch_next(self) -> None:
+        page = self._source.fetch(self.pages_fetched)
+        self.pages_fetched += 1
+        self.tuples_fetched += page.raw_tuples
+        if page.latency is not None:
+            self.latencies.append(page.latency)
+        if not page.has_more:
+            self._saw_end = True
+        previous_last = self.ranks[-1] if self.ranks else -math.inf
+        new_ranks: list[int] = []
+        for row in page.rows:
+            rank = row.rank_key()
+            if rank < previous_last:
+                self._monotone = False
+            previous_last = max(previous_last, rank)
+            self.rows.append(row)
+            new_ranks.append(rank)
+        self._rank_floor = max(self._rank_floor, page.rank_floor)
+        self._absorb_ranks(new_ranks)
+
+    def _absorb_ranks(self, new_ranks: list[int]) -> None:
+        """Extend the suffix-minima array incrementally.
+
+        Appending rows can only *lower* existing suffix entries, and
+        only up to the first index the new minimum cannot improve —
+        so the back-propagation stops there instead of rebuilding the
+        whole array (an immediate stop in the monotone case, keeping a
+        full drain linear instead of quadratic).
+        """
+        old_count = len(self.ranks)
+        self.ranks.extend(new_ranks)
+        suffix = self._suffix
+        suffix.pop()  # the +inf sentinel, re-appended below
+        running = math.inf
+        tail: list[float] = [0.0] * len(new_ranks)
+        for index in range(len(new_ranks) - 1, -1, -1):
+            running = min(running, new_ranks[index])
+            tail[index] = running
+        suffix.extend(tail)
+        suffix.append(math.inf)
+        for index in range(old_count - 1, -1, -1):
+            updated = min(self.ranks[index], suffix[index + 1])
+            if updated == suffix[index]:
+                break
+            suffix[index] = updated
+
+
+@dataclass
+class ListPageSource:
+    """A :class:`PageSource` over pre-built pages (tests, adapters).
+
+    ``pages`` holds the produced rows of each page; ``rank_floors``
+    optionally gives the per-page floor for later tuples (defaults to
+    the count of rows seen so far, the search-service convention).
+    """
+
+    pages: list[list[Row]]
+    budget: int = 0
+    rank_floors: list[int] | None = None
+    raw_counts: list[int] | None = None
+    fetch_log: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            self.budget = len(self.pages)
+
+    def fetch(self, page: int) -> FetchedPage:
+        self.fetch_log.append(page)
+        rows = tuple(self.pages[page]) if page < len(self.pages) else ()
+        seen = sum(len(p) for p in self.pages[: page + 1])
+        floor = (
+            self.rank_floors[page]
+            if self.rank_floors is not None
+            else seen
+        )
+        raw = (
+            self.raw_counts[page]
+            if self.raw_counts is not None
+            else len(rows)
+        )
+        return FetchedPage(
+            rows=rows,
+            raw_tuples=raw,
+            has_more=page + 1 < len(self.pages),
+            rank_floor=floor,
+        )
+
+    def swap_stats(self, stats: object) -> None:
+        return None

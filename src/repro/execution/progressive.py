@@ -14,11 +14,17 @@ resumed execution would.
 
 Under ``ExecutionMode.STREAMED`` the continuation is cheaper still:
 each round leaves behind a suspended
-:class:`~repro.execution.joins.JoinStream` holding the final join's
-materialized inputs, and asking for more first *resumes* that stream —
-walking further into the candidate plane — which issues **no service
-call at all**, under any cache setting.  Only when the suspended
-stream exhausts its plane without reaching the requested k does the
+:class:`~repro.execution.joins.JoinStream` over the final join's
+inputs, and asking for more first *resumes* that stream — walking
+further into the candidate plane.  Over eagerly materialized inputs a
+resume issues **no service call at all**, under any cache setting.
+Over lazily fetched inputs (single-feed service nodes, see
+:mod:`repro.execution.lazy`) the resumed walk may *grow cursor demand*:
+it pulls further pages within the round's fetch budget — still far
+cheaper than re-executing, recorded honestly on the resumed round's
+statistics, and stored in the shared logical cache so any later
+re-execution finds them for free.  Only when the suspended stream
+exhausts its budgeted plane without reaching the requested k does the
 executor fall back to growing fetches and re-executing (where the
 shared logical cache again absorbs every already-fetched page).
 """
@@ -40,8 +46,12 @@ from repro.services.registry import ServiceRegistry
 class ProgressiveRound:
     """Bookkeeping for one execution round.
 
-    ``resumed`` marks rounds served entirely by resuming the previous
-    round's suspended stream: zero service calls, zero fetches.
+    ``resumed`` marks rounds served by resuming the previous round's
+    suspended stream instead of re-executing the plan.  With eagerly
+    materialized join inputs such rounds issue zero service calls and
+    zero fetches; with lazily fetched inputs ``new_calls`` records the
+    budgeted pages the grown cursor demand actually pulled (0 while
+    the walk stays within already-fetched pages).
     """
 
     fetches: dict[int, int]
@@ -55,11 +65,21 @@ class ProgressiveRound:
 class ProgressiveExecutor:
     """Re-executes a plan with growing fetch factors until satisfied.
 
-    The logical cache persists across rounds (``cache_setting``,
-    optimal by default), so a continuation never repeats a call already
-    made.  With ``mode=ExecutionMode.STREAMED`` continuations resume
-    the suspended top-k stream first and only re-execute when the
-    already-materialized join inputs cannot prove the larger top-k.
+    **Contract**: :meth:`run` (and :meth:`more`) always returns the
+    exact top answers of the plan under its *current* fetch state —
+    bit-identical to a from-scratch full execution followed by
+    ``compose_ranking`` — no matter how the rounds were served (fresh
+    execution, stream resume, or fetch growth).
+
+    **Cost behavior**: the logical cache persists across rounds
+    (``cache_setting``, optimal by default), so a continuation never
+    repeats a call already made.  With ``mode=ExecutionMode.STREAMED``
+    continuations resume the suspended top-k stream first — free over
+    already-fetched inputs, at most a few budgeted page fetches over
+    lazily fetched ones — and only re-execute (with doubled fetch
+    factors) when the stream's budgeted plane cannot prove the larger
+    top-k.  ``lazy_streaming=False`` restores eager materialization
+    inside streamed rounds.
     """
 
     registry: ServiceRegistry
@@ -68,13 +88,17 @@ class ProgressiveExecutor:
     mode: ExecutionMode = ExecutionMode.PARALLEL
     cache_setting: CacheSetting = CacheSetting.OPTIMAL
     #: Bounds the *executing* rounds (those that run the plan); resumed
-    #: stream rounds are free — zero calls — and never count against it.
+    #: stream rounds are nearly free and never count against it.
     max_rounds: int = 8
+    lazy_streaming: bool = True
     rounds: list[ProgressiveRound] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         self._engine = ExecutionEngine(
-            self.registry, cache_setting=self.cache_setting, mode=self.mode
+            self.registry,
+            cache_setting=self.cache_setting,
+            mode=self.mode,
+            lazy_streaming=self.lazy_streaming,
         )
         # One shared cache across all rounds: continuations are free
         # where they overlap with what was already fetched.
@@ -134,21 +158,35 @@ class ProgressiveExecutor:
         """Serve *k* by resuming the suspended stream, if possible.
 
         Walks the previous round's :class:`JoinStream` further into
-        the candidate plane — over join inputs that are already
-        materialized, so no service is ever called.  Returns None only
-        when there is no suspended stream.  When the stream exhausts
-        its plane below *k*, the drained answers still become this
-        round's result (re-executing with unchanged fetches would only
+        the candidate plane.  Over already-fetched inputs no service is
+        ever called; over lazily fetched inputs the grown demand may
+        pull further budgeted pages — the stream's accounting is
+        rebound to this round's fresh statistics first, so those
+        fetches are recorded here and never mutate the counters of the
+        round that created the stream.  Returns None only when there
+        is no suspended stream.  When the stream exhausts its plane
+        below *k*, the drained answers still become this round's
+        result (re-executing with unchanged fetches would only
         recompute them), and ``run`` proceeds directly to fetch growth.
         """
         last = self._last_result
         if last is None or last.stream is None:
             return None
         stream = last.stream
-        rows = stream.top(k)
         stats = ExecutionStats()
+        stream.rebind_stats(stats)
+        fetched_before = stream.lazy_tuples_fetched
+        rows = stream.top(k)
         stats.streamed_cells_visited = stream.cells_visited
         stats.early_exit_cells_skipped = stream.cells_skipped
+        stats.lazy_tuples_fetched = stream.lazy_tuples_fetched - fetched_before
+        stats.lazy_calls_saved = stream.lazy_pages_saved
+        # Virtual time of the resume: the lazy cursors sit on parallel
+        # branches, so the round takes as long as its busiest service
+        # (0.0 for the common all-from-fetched-pages resume).
+        stats.elapsed = max(
+            (s.busy_time for s in stats.per_service.values()), default=0.0
+        )
         table = ResultTable(
             head=tuple(self.head),
             rows=rows,
@@ -157,7 +195,7 @@ class ProgressiveExecutor:
         result = ExecutionResult(
             table=table,
             stats=stats,
-            elapsed=0.0,
+            elapsed=stats.elapsed,
             k=k,
             node_output_sizes={},
             stream=stream,
@@ -166,8 +204,8 @@ class ProgressiveExecutor:
             ProgressiveRound(
                 fetches=self.fetch_vector(),
                 answers=len(rows),
-                new_calls=0,
-                elapsed=0.0,
+                new_calls=stats.total_calls,
+                elapsed=stats.elapsed,
                 resumed=True,
             )
         )

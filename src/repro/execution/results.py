@@ -84,7 +84,10 @@ def compose_ranking(rows: Sequence[Row], k: int | None = None) -> list[Row]:
     When *k* is known, only the top-k rows are materialized via a heap
     selection over explicitly ``(rank_key, arrival)``-decorated rows
     (equivalent to sorting and truncating), which skips the full sort
-    on large answer sets.
+    on large answer sets: O(n log k) instead of O(n log n), never a
+    different result.  ``compose_ranking`` over a full-scan execution
+    is the *oracle* every optimized path (hashed, streamed, lazily
+    fetched) is differentially tested against.
     """
     if k is not None and 0 <= k < len(rows):
         decorated = heapq.nsmallest(

@@ -18,18 +18,27 @@ from dataclasses import dataclass, field
 
 @dataclass
 class ServiceCallStats:
-    """Counters for one service within one execution."""
+    """Counters for one service within one execution.
+
+    ``tuples_fetched`` counts the raw tuples received from the remote
+    side (before binding and filtering) — the quantity lazy fetching
+    reduces, and what the lazy bench compares against eager streaming.
+    """
 
     calls: int = 0
     fetches: int = 0
     cache_hits: int = 0
     remote_cache_hits: int = 0
     busy_time: float = 0.0
+    tuples_fetched: int = 0
 
-    def record_fetch(self, latency: float, from_remote_cache: bool) -> None:
-        """Account one remote page fetch."""
+    def record_fetch(
+        self, latency: float, from_remote_cache: bool, tuples: int = 0
+    ) -> None:
+        """Account one remote page fetch returning *tuples* raw tuples."""
         self.fetches += 1
         self.busy_time += latency
+        self.tuples_fetched += tuples
         if from_remote_cache:
             self.remote_cache_hits += 1
 
@@ -42,14 +51,35 @@ class ExecutionStats:
     streamed top-k pipeline: how many candidate-plane cells the final
     join actually visited and how many it proved unable to enter the
     top-k without visiting them.  Both stay 0 for full-scan executions
-    (and ``early_exit_cells_skipped`` is 0 whenever ``k >= n × m``, as
-    proving a full-plane top-k complete requires visiting every cell).
+    (and ``early_exit_cells_skipped`` is 0 whenever ``k`` covers the
+    fetched plane, as proving a full-plane top-k complete requires
+    visiting every cell).
+
+    ``streamed_fallback`` disambiguates those zeros: it is True when a
+    ``STREAMED`` execution with a ``k`` budget found no streamable
+    final join (service-terminal plans) and fell back to full
+    materialization — the zeros then mean "nothing was streamed", not
+    "the stream visited nothing".  Benches must check it instead of
+    logging the counters as if a stream had run.
+
+    ``lazy_tuples_fetched`` / ``lazy_calls_saved`` trace demand-driven
+    service fetching: raw tuples pulled through lazy input cursors,
+    and budgeted page fetches those cursors never issued (the remote
+    work early exit saved — an upper bound when a service would have
+    run dry mid-budget, exact otherwise).  Both stay 0 when no input
+    was fetched lazily.  ``lazy_calls_saved`` is a snapshot taken when
+    the round's statistics are finalized: a later stream resume can
+    pull some of those pages after all, and then reports the shrunken
+    remainder on *its own* round's statistics.
     """
 
     per_service: dict[str, ServiceCallStats] = field(default_factory=dict)
     elapsed: float = 0.0
     streamed_cells_visited: int = 0
     early_exit_cells_skipped: int = 0
+    streamed_fallback: bool = False
+    lazy_tuples_fetched: int = 0
+    lazy_calls_saved: int = 0
 
     def service(self, name: str) -> ServiceCallStats:
         """The (auto-created) counters for service *name*."""
@@ -76,13 +106,28 @@ class ExecutionStats:
         """Logical-cache hits across all services."""
         return sum(s.cache_hits for s in self.per_service.values())
 
+    @property
+    def total_tuples_fetched(self) -> int:
+        """Raw tuples received from remote services, across all services."""
+        return sum(s.tuples_fetched for s in self.per_service.values())
+
     def summary(self) -> str:
         """Readable multi-line rendering."""
         lines = [f"elapsed: {self.elapsed:.1f}s  calls: {self.total_calls}"]
-        if self.streamed_cells_visited or self.early_exit_cells_skipped:
+        if self.streamed_fallback:
+            lines.append(
+                "  streamed: no streamable final join "
+                "(service-terminal plan, full materialization)"
+            )
+        elif self.streamed_cells_visited or self.early_exit_cells_skipped:
             lines.append(
                 f"  streamed: cells_visited={self.streamed_cells_visited}"
                 f" early_exit_cells_skipped={self.early_exit_cells_skipped}"
+            )
+        if self.lazy_tuples_fetched or self.lazy_calls_saved:
+            lines.append(
+                f"  lazy: tuples_fetched={self.lazy_tuples_fetched}"
+                f" calls_saved={self.lazy_calls_saved}"
             )
         for name in sorted(self.per_service):
             stats = self.per_service[name]

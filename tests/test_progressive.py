@@ -163,6 +163,144 @@ class TestStreamedResume:
         assert len(result.rows) > len(first.rows)
 
 
+class TestLazyStreamedResume:
+    """Progressive + lazy interaction: stream-resume rounds over
+    *lazily fetched* inputs stay zero-service-call whenever the walk
+    stays within already-fetched pages — under every CacheSetting —
+    and when the grown demand does pull budgeted pages, the fetches
+    are recorded on the resumed round, never on an earlier one."""
+
+    @staticmethod
+    def _single_feed_executor(setting, side, chunk, fetches, lazy=True):
+        from repro.model.schema import signature
+        from repro.services.profile import search_profile
+        from repro.services.registry import JoinMethod, ServiceRegistry
+        from repro.services.table import TableSearchService
+        from repro.model.atoms import Atom
+        from repro.model.query import ConjunctiveQuery
+        from repro.model.terms import Constant, Variable
+        from repro.plans.builder import Poset
+
+        registry = ServiceRegistry()
+        for name, var in (("lefts", "L"), ("rights", "R")):
+            registry.register(
+                TableSearchService(
+                    signature(name, ["Q", "K", var], ["ioo"]),
+                    search_profile(chunk_size=chunk, response_time=1.0),
+                    [("q", 0, i) for i in range(side)],
+                    score=lambda row: float(-row[2]),
+                )
+            )
+        registry.register_join_method("lefts", "rights", JoinMethod.MERGE_SCAN)
+        key, lv, rv = Variable("K"), Variable("L"), Variable("R")
+        query = ConjunctiveQuery(
+            name="lazyprog",
+            head=(key, lv, rv),
+            atoms=(
+                Atom("lefts", (Constant("q"), key, lv)),
+                Atom("rights", (Constant("q"), key, rv)),
+            ),
+            predicates=(),
+        )
+        plan = PlanBuilder(query, registry).build(
+            (
+                registry.signature("lefts").pattern("ioo"),
+                registry.signature("rights").pattern("ioo"),
+            ),
+            Poset(n=2),
+            fetches={0: fetches, 1: fetches},
+        )
+        executor = ProgressiveExecutor(
+            registry=registry,
+            plan=plan,
+            head=tuple(query.head),
+            mode=ExecutionMode.STREAMED,
+            cache_setting=setting,
+            lazy_streaming=lazy,
+        )
+        return registry, query, plan, executor
+
+    @pytest.mark.parametrize("setting", list(CacheSetting), ids=lambda s: s.value)
+    def test_resume_within_fetched_pages_is_zero_service_call(self, setting):
+        """The lazily fetched page already covers the grown k: the
+        resumed round must issue no call, no fetch, and no cache
+        lookup, under every cache setting."""
+        registry, query, plan, executor = self._single_feed_executor(
+            setting, side=8, chunk=16, fetches=1
+        )
+        first = executor.run(k=1)
+        assert first.stream is not None
+        assert first.stats.lazy_tuples_fetched == 16  # one page per side
+        more = executor.more(3)
+        latest = executor.rounds[-1]
+        assert latest.resumed
+        assert latest.new_calls == 0
+        assert more.stats.total_calls == 0
+        assert more.stats.total_fetches == 0
+        assert more.stats.total_cache_hits == 0
+        assert more.stats.lazy_tuples_fetched == 0
+        assert len(more.rows) == 4
+        oracle = ExecutionEngine(registry, mode=ExecutionMode.PARALLEL).execute(
+            plan, head=tuple(query.head)
+        )
+        expected = compose_ranking(oracle.rows, 4)
+        assert [dict(r.bindings) for r in more.rows] == [
+            dict(r.bindings) for r in expected
+        ]
+        assert [r.rank_key() for r in more.rows] == [
+            r.rank_key() for r in expected
+        ]
+
+    @pytest.mark.parametrize("setting", list(CacheSetting), ids=lambda s: s.value)
+    def test_budgeted_resume_fetches_are_recorded_honestly(self, setting):
+        """A resume that outgrows the fetched pages pulls more budgeted
+        pages: still a resumed round (no plan re-execution), with the
+        remote work on *its* counters and the first round's frozen."""
+        registry, query, plan, executor = self._single_feed_executor(
+            setting, side=20, chunk=2, fetches=10
+        )
+        first = executor.run(k=1)
+        first_fetches = first.stats.total_fetches
+        assert first_fetches == 2  # one page per side
+        more = executor.more(7)  # k=8 needs rows beyond page 0
+        latest = executor.rounds[-1]
+        assert latest.resumed
+        assert latest.new_calls > 0
+        assert more.stats.total_fetches > 0
+        assert more.stats.lazy_tuples_fetched > 0
+        # Remote latency makes the resumed round's virtual time real.
+        assert latest.elapsed > 0.0
+        assert more.elapsed == latest.elapsed
+        # The savings snapshot shrinks to what is still unissued.
+        assert more.stats.lazy_calls_saved < first.stats.lazy_calls_saved
+        # The stale-counter regression: round 1's stats stay frozen.
+        assert first.stats.total_fetches == first_fetches
+        assert len(more.rows) == 8
+        oracle = ExecutionEngine(registry, mode=ExecutionMode.PARALLEL).execute(
+            plan, head=tuple(query.head)
+        )
+        expected = compose_ranking(oracle.rows, 8)
+        assert [r.rank_key() for r in more.rows] == [
+            r.rank_key() for r in expected
+        ]
+        # Resumed rounds never count against the execution budget.
+        assert executor._executed_rounds() == 1
+
+    def test_lazy_resume_composes_with_shared_cache_on_reexecution(self):
+        """Pages pulled by a resumed stream land in the shared logical
+        cache: a later fetch-growth re-execution finds them for free."""
+        registry, query, plan, executor = self._single_feed_executor(
+            CacheSetting.OPTIMAL, side=6, chunk=2, fetches=2
+        )
+        executor.run(k=1)
+        huge = 100  # beyond the 36-cell plane: must grow fetches
+        result = executor.run(k=huge)
+        grown = [r for r in executor.rounds[1:] if not r.resumed]
+        assert grown, "growth rounds expected once the stream exhausts"
+        assert result.stats.total_cache_hits > 0
+        assert len(result.rows) == 36
+
+
 class TestCaps:
     def test_decay_caps_stop_growth(self, tiny_query):
         from repro.model.schema import signature

@@ -11,7 +11,9 @@ full-scan oracle:
   arbitrary k — including k = 0 and k beyond the plane;
 * at the engine level, ``ExecutionMode.STREAMED`` against
   ``ExecutionMode.PARALLEL`` on plans built over random service
-  tables, for both join methods.
+  tables, for both join methods — including the demand-driven lazy
+  fetch path under *random chunk sizes* (both against the oracle and
+  against the eager streamed path, which must never fetch less).
 
 The suite also pins the early-exit bookkeeping: proving a top-k
 complete for ``k >= n*m`` requires visiting the whole plane, so
@@ -171,13 +173,18 @@ class TestTieBreaking:
 # -- engine level -----------------------------------------------------------
 
 
-def _random_table_plan(left_keys, right_keys, method):
-    """A two-branch plan over random search tables, merged by *method*."""
+def _random_table_plan(left_keys, right_keys, method, chunks=(4, 4)):
+    """A two-branch plan over random search tables, merged by *method*.
+
+    Both services are fed from the input node (single feed tuple), so
+    a STREAMED engine fetches them through lazy cursors; *chunks*
+    randomizes their page sizes for the lazy differential tests.
+    """
     registry = ServiceRegistry()
     registry.register(
         TableSearchService(
             signature("lefts", ["Q", "K", "L"], ["ioo"]),
-            search_profile(chunk_size=4, response_time=1.0),
+            search_profile(chunk_size=chunks[0], response_time=1.0),
             [("q", key, index) for index, key in enumerate(left_keys)],
             score=lambda row: float(-row[2]),
         )
@@ -185,7 +192,7 @@ def _random_table_plan(left_keys, right_keys, method):
     registry.register(
         TableSearchService(
             signature("rights", ["Q", "K", "R"], ["ioo"]),
-            search_profile(chunk_size=4, response_time=1.0),
+            search_profile(chunk_size=chunks[1], response_time=1.0),
             [("q", key, index) for index, key in enumerate(right_keys)],
             score=lambda row: float(-row[2]),
         )
@@ -247,6 +254,41 @@ class TestStreamedEngineMatchesOracle:
             )
         else:
             assert len(streamed.rows) == k
+
+    @given(
+        _table_keys,
+        _table_keys,
+        st.integers(0, 12),
+        st.sampled_from(METHODS),
+        st.integers(1, 5),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_lazy_fetching_bit_identical_under_random_chunks(
+        self, lk, rk, k, method, chunk_left, chunk_right
+    ):
+        """The demand-driven fetch path (random page sizes) against the
+        full-scan oracle and the eager streamed path: identical rows,
+        never more remote work."""
+        registry, query, plan = _random_table_plan(
+            lk, rk, method, chunks=(chunk_left, chunk_right)
+        )
+        head = tuple(query.head)
+        oracle = ExecutionEngine(registry, mode=ExecutionMode.PARALLEL).execute(
+            plan, head=head
+        )
+        lazy = ExecutionEngine(registry, mode=ExecutionMode.STREAMED).execute(
+            plan, head=head, k=k
+        )
+        eager = ExecutionEngine(
+            registry, mode=ExecutionMode.STREAMED, lazy_streaming=False
+        ).execute(plan, head=head, k=k)
+        expected = compose_ranking(oracle.rows, k)
+        assert _signature(lazy.rows) == _signature(expected)
+        assert _signature(eager.rows) == _signature(expected)
+        assert lazy.stats.total_fetches <= eager.stats.total_fetches
+        assert lazy.stats.total_tuples_fetched <= eager.stats.total_tuples_fetched
+        assert eager.stats.lazy_tuples_fetched == 0
 
     @given(_table_keys, _table_keys, st.sampled_from(METHODS))
     @settings(max_examples=15, deadline=None)
