@@ -9,6 +9,7 @@ run the benches explicitly through this entry point::
     python benchmarks/run_bench.py -k hotpaths     # one bench module
     python benchmarks/run_bench.py --benchmark-only
     python benchmarks/run_bench.py -k hotpaths --quick   # CI smoke
+    python benchmarks/run_bench.py --list          # enumerate suites
 
 ``--quick`` shrinks the workload sizes (via the ``BENCH_QUICK``
 environment variable, read by ``benchmarks/conftest.py``'s
@@ -25,13 +26,37 @@ from __future__ import annotations
 
 import os
 import pathlib
+import re
 import subprocess
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+_ARTIFACT = re.compile(r"BENCH_[A-Za-z0-9_]+\.json")
+
+
+def list_suites() -> int:
+    """Print every bench suite with the artifacts it writes."""
+    bench_dir = REPO_ROOT / "benchmarks"
+    print(f"{'suite':<18} {'module':<34} writes")
+    for module in sorted(bench_dir.glob("test_bench_*.py")):
+        suite = module.stem.removeprefix("test_bench_")
+        artifacts = sorted(set(_ARTIFACT.findall(module.read_text())))
+        print(
+            f"{suite:<18} {module.relative_to(REPO_ROOT)!s:<34} "
+            f"{', '.join(artifacts) if artifacts else '-'}"
+        )
+    print(
+        f"\nartifacts land in benchmarks/out/; run one suite with "
+        f"`python benchmarks/run_bench.py -k <suite>` "
+        f"(add --quick for the CI smoke workload)"
+    )
+    return 0
+
 
 def main(argv: list[str]) -> int:
+    if "--list" in argv:
+        return list_suites()
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     existing = env.get("PYTHONPATH")

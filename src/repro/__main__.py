@@ -13,6 +13,17 @@ Commands
 ``optimize --domain NAME "q(X) :- ..."``
     Optimize (and optionally execute) an ad-hoc datalog query against a
     built-in domain's services.
+
+``query [--domain NAME] ["q(X) :- ..."]``
+    Submit a query through the serving layer (plan cache + shared
+    service cache + sessions) and print the JSON response; ``--repeat``
+    shows the plan-cache provenance flipping from ``optimized`` to
+    ``memory``, ``--plan-cache PATH`` persists plans across processes.
+
+``serve [--domain NAME]``
+    Minimal line-oriented server on stdin/stdout: each line is a
+    datalog query, ``more <session_id> [n]``, ``stats``, or ``quit``;
+    one JSON response is printed per line.
 """
 
 from __future__ import annotations
@@ -74,6 +85,62 @@ def _optimize_and_run(registry, query, metric_name: str, k: int,
     return 0
 
 
+def _make_query_service(args):
+    from repro.serving import PlanCache, QueryService
+
+    registry, showcase = _load_domain(args.domain)
+    plan_cache = PlanCache(path=getattr(args, "plan_cache", None))
+    service = QueryService(
+        registry=registry,
+        metric=_METRICS[args.metric](),
+        k_default=args.k,
+        plan_cache=plan_cache,
+    )
+    return service, showcase
+
+
+def _run_query(args) -> int:
+    service, showcase = _make_query_service(args)
+    query = parse_query(args.query) if args.query else showcase
+    for _ in range(max(1, args.repeat)):
+        response = service.submit(query, k=args.k)
+        print(response.to_json())
+    import json
+
+    print(json.dumps(service.snapshot(), sort_keys=True))
+    return 0
+
+
+def _run_serve(args) -> int:
+    import json
+
+    service, showcase = _make_query_service(args)
+    for line in sys.stdin:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line in {"quit", "exit"}:
+            break
+        try:
+            if line == "stats":
+                print(json.dumps(service.snapshot(), sort_keys=True))
+            elif line.split()[0] == "more":
+                parts = line.split()
+                if len(parts) < 2:
+                    raise ValueError("usage: more <session_id> [n]")
+                additional = int(parts[2]) if len(parts) > 2 else None
+                print(service.ask_for_more(parts[1], additional).to_json())
+            elif line == "demo":
+                print(service.submit(showcase, k=args.k).to_json())
+            else:
+                print(service.submit(line, k=args.k).to_json())
+        except Exception as error:  # a bad request must not kill the server
+            print(json.dumps({"error": f"{type(error).__name__}: {error}"}))
+        sys.stdout.flush()
+    print(json.dumps(service.snapshot(), sort_keys=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -97,6 +164,28 @@ def main(argv: list[str] | None = None) -> int:
     opt.add_argument("--metric", choices=sorted(_METRICS), default="time")
     opt.add_argument("-k", type=int, default=10)
     opt.add_argument("--no-execute", action="store_true")
+
+    qry = sub.add_parser(
+        "query", help="submit one query through the serving layer"
+    )
+    qry.add_argument("query", nargs="?", default=None,
+                     help="datalog text (default: the domain's showcase query)")
+    qry.add_argument("--domain", choices=sorted(_DOMAINS), default="travel")
+    qry.add_argument("--metric", choices=sorted(_METRICS), default="time")
+    qry.add_argument("-k", type=int, default=10)
+    qry.add_argument("--repeat", type=int, default=1,
+                     help="submit the query N times (shows plan-cache hits)")
+    qry.add_argument("--plan-cache", default=None, metavar="PATH",
+                     help="persist optimized plans to this JSON file")
+
+    srv = sub.add_parser(
+        "serve", help="line-oriented query server on stdin/stdout"
+    )
+    srv.add_argument("--domain", choices=sorted(_DOMAINS), default="travel")
+    srv.add_argument("--metric", choices=sorted(_METRICS), default="time")
+    srv.add_argument("-k", type=int, default=10, help="default answers per query")
+    srv.add_argument("--plan-cache", default=None, metavar="PATH",
+                     help="persist optimized plans to this JSON file")
 
     args = parser.parse_args(argv)
 
@@ -128,6 +217,12 @@ def main(argv: list[str] | None = None) -> int:
         return _optimize_and_run(
             registry, query, args.metric, args.k, not args.no_execute
         )
+
+    if args.command == "query":
+        return _run_query(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     return 2
 

@@ -362,6 +362,7 @@ class ExecutionEngine:
                     )
                     latencies.append(result.latency)
                     issued_remote = True
+                stats.tuples_processed += len(result.tuples)
                 pages.append(result)
                 if not result.has_more:
                     break
@@ -685,6 +686,7 @@ class _LazyServicePageSource:
             service_stats.cache_hits += 1
             self._epoch_counted_hit = True
         self._epoch_pages += 1
+        self._stats.tuples_processed += len(result.tuples)
 
         rows: list[Row] = []
         ranks = result.ranks or (None,) * len(result.tuples)

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.execution.cache import CacheSetting, make_cache
+from repro.execution.cache import CacheSetting, LogicalCache, make_cache
 from repro.execution.engine import ExecutionEngine, ExecutionMode, ExecutionResult
 from repro.execution.results import ResultTable
 from repro.execution.stats import ExecutionStats
@@ -52,6 +52,11 @@ class ProgressiveRound:
     zero fetches; with lazily fetched inputs ``new_calls`` records the
     budgeted pages the grown cursor demand actually pulled (0 while
     the walk stays within already-fetched pages).
+
+    ``stats`` is the round's full :class:`ExecutionStats` — kept so a
+    caller that grew through several rounds can report the *total*
+    work of a request (each round's statistics object is fresh; the
+    final result alone would undercount every earlier round).
     """
 
     fetches: dict[int, int]
@@ -59,6 +64,7 @@ class ProgressiveRound:
     new_calls: int
     elapsed: float
     resumed: bool = False
+    stats: ExecutionStats | None = None
 
 
 @dataclass
@@ -91,6 +97,15 @@ class ProgressiveExecutor:
     #: stream rounds are nearly free and never count against it.
     max_rounds: int = 8
     lazy_streaming: bool = True
+    #: An externally owned logical cache to run against (the serving
+    #: layer hands every session the same cache, so one tenant's
+    #: fetches answer another tenant's overlapping calls); when None a
+    #: private per-executor cache is created as before.
+    shared_cache: LogicalCache | None = None
+    #: Whether the first round may clear the remote servers' own
+    #: caches.  Experiments want True (independence); a long-lived
+    #: server wants False (sessions arrive into a warm world).
+    reset_remote: bool = True
     rounds: list[ProgressiveRound] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -102,7 +117,11 @@ class ProgressiveExecutor:
         )
         # One shared cache across all rounds: continuations are free
         # where they overlap with what was already fetched.
-        self._shared_cache = make_cache(self.cache_setting)
+        self._shared_cache = (
+            self.shared_cache
+            if self.shared_cache is not None
+            else make_cache(self.cache_setting)
+        )
         self._last_result: ExecutionResult | None = None
 
     def fetch_vector(self) -> dict[int, int]:
@@ -133,19 +152,34 @@ class ProgressiveExecutor:
         """Produce at least *k* answers, growing fetches as needed.
 
         Stops early when every factor is capped (k may be unreachable,
-        as the paper notes for services with small decay bounds).
+        as the paper notes for services with small decay bounds), or
+        when a growth round processes no new raw tuples while the
+        answer count stays put — the services are exhausted.  The
+        exhaustion signal is ``tuples_processed`` (cache-independent),
+        *not* the remote-call count: an executor running against a
+        pre-warmed shared cache (the serving layer) issues zero remote
+        calls while still uncovering new data, and must keep growing
+        exactly as a cold executor would.
         """
         result = self._resume_stream(k)
+        baseline_processed: int | None = None
         if result is None:
             result = self._execute_round(k)
+            baseline_processed = result.stats.tuples_processed
         while len(result.rows) < k and self._executed_rounds() < self.max_rounds:
             if not self._grow_fetches():
                 break  # every factor capped by its decay bound
             previous_answers = len(result.rows)
             result = self._execute_round(k)
+            processed = result.stats.tuples_processed
             latest = self.rounds[-1]
-            if latest.new_calls == 0 and latest.answers == previous_answers:
+            if (
+                baseline_processed is not None
+                and processed <= baseline_processed
+                and latest.answers == previous_answers
+            ):
                 break  # the services are exhausted: no more data exists
+            baseline_processed = processed
         self._last_result = result
         return result
 
@@ -207,6 +241,7 @@ class ProgressiveExecutor:
                 new_calls=stats.total_calls,
                 elapsed=stats.elapsed,
                 resumed=True,
+                stats=stats,
             )
         )
         return result
@@ -216,7 +251,7 @@ class ProgressiveExecutor:
             self.plan,
             head=self.head,
             k=k,
-            reset_remote_caches=not self.rounds,
+            reset_remote_caches=self.reset_remote and not self.rounds,
             shared_cache=self._shared_cache,
         )
         self.rounds.append(
@@ -225,6 +260,7 @@ class ProgressiveExecutor:
                 answers=len(result.rows),
                 new_calls=result.stats.total_calls,
                 elapsed=result.elapsed,
+                stats=result.stats,
             )
         )
         return result

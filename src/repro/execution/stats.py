@@ -80,6 +80,14 @@ class ExecutionStats:
     streamed_fallback: bool = False
     lazy_tuples_fetched: int = 0
     lazy_calls_saved: int = 0
+    #: Raw tuples that flowed through the logical-cache layer this
+    #: execution, whether served from the cache or fetched remotely.
+    #: Unlike ``tuples_fetched`` this is *cache-independent*: two
+    #: executions of the same plan with the same fetch state process
+    #: the same tuples no matter how warm their caches are — which is
+    #: what lets progressive fetch growth detect data exhaustion
+    #: without misreading cache-absorbed rounds as "no more data".
+    tuples_processed: int = 0
 
     def service(self, name: str) -> ServiceCallStats:
         """The (auto-created) counters for service *name*."""

@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass, replace
 from enum import Enum
 
+from repro.digest import content_digest
+
 
 class ServiceKind(Enum):
     """Exact services behave relationally; search services rank results."""
@@ -125,6 +127,27 @@ class ServiceProfile:
     def with_cost(self, cost_per_call: float) -> "ServiceProfile":
         """Copy of the profile with a different per-call cost."""
         return replace(self, cost_per_call=cost_per_call)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the profile's statistics.
+
+        Two profiles hash equally iff every field driving the
+        optimizer's cost estimates is equal; the rendering sorts its
+        keys, so the digest is independent of any construction or
+        dict ordering.  Plan caches use this (via a registry epoch)
+        as their invalidation key: a drifted profile changes the
+        digest and strands the stale plans.
+        """
+        return content_digest(
+            {
+                "kind": self.kind.value,
+                "erspi": self.erspi,
+                "response_time": self.response_time,
+                "chunk_size": self.chunk_size,
+                "decay": self.decay,
+                "cost_per_call": self.cost_per_call,
+            }
+        )
 
     def describe(self) -> str:
         """One-line rendering used by the Table 1 benchmark."""

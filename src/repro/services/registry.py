@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator
 
+from repro.digest import content_digest
 from repro.model.schema import Schema, SchemaError, ServiceSignature
 from repro.services.base import Service
 from repro.services.profile import ServiceProfile
@@ -43,6 +44,10 @@ class ServiceRegistry:
     _join_methods: dict[frozenset, JoinMethod] = field(default_factory=dict)
     _join_selectivities: dict[frozenset, float] = field(default_factory=dict)
     default_join_selectivity: float = DEFAULT_JOIN_SELECTIVITY
+    #: Bumped by every registration; lets :meth:`content_epoch` cache
+    #: its digest instead of re-hashing per serving request.
+    _revision: int = field(default=0, repr=False)
+    _epoch_cache: tuple | None = field(default=None, repr=False)
 
     # -- registration --------------------------------------------------
 
@@ -51,6 +56,7 @@ class ServiceRegistry:
         if service.name in self._services:
             raise SchemaError(f"service {service.name!r} already registered")
         self._services[service.name] = service
+        self._revision += 1
 
     def register_join_method(
         self, service_a: str, service_b: str, method: JoinMethod
@@ -61,6 +67,7 @@ class ServiceRegistry:
         registration time, by analyzing their statistical behavior".
         """
         self._join_methods[frozenset({service_a, service_b})] = method
+        self._revision += 1
 
     def register_join_selectivity(
         self, service_a: str, service_b: str, selectivity: float
@@ -69,6 +76,7 @@ class ServiceRegistry:
         if not 0.0 <= selectivity <= 1.0:
             raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
         self._join_selectivities[frozenset({service_a, service_b})] = selectivity
+        self._revision += 1
 
     # -- lookups --------------------------------------------------------
 
@@ -136,6 +144,63 @@ class ServiceRegistry:
         """Reset per-experiment state (remote caches) of every service."""
         for service in self:
             service.reset()
+
+    def content_epoch(self) -> str:
+        """Stable content hash of everything the optimizer reads.
+
+        Covers, for every registered service, its signature (name,
+        domains, feasible patterns) and the per-pattern profile
+        fingerprints, plus the registered join methods, join
+        selectivities, and the default selectivity.  Every collection
+        is serialized in sorted order, so the digest is independent of
+        registration order and of dict iteration order — two
+        registries with the same content always agree.
+
+        This is the *epoch* a persistent plan cache keys on: plans
+        optimized under one epoch are only replayed while the epoch is
+        unchanged, and any profile drift (re-profiled services, new
+        selectivity estimates) strands them automatically.
+
+        The digest is cached per registration revision (profiles are
+        frozen and content changes only enter through ``register*``
+        calls or ``default_join_selectivity``), so the serving hot
+        path pays a dict probe, not a re-hash, per request.
+        """
+        cache_key = (self._revision, self.default_join_selectivity)
+        if self._epoch_cache is not None and self._epoch_cache[0] == cache_key:
+            return self._epoch_cache[1]
+        services = []
+        for name in sorted(self._services):
+            service = self._services[name]
+            sig = service.signature
+            codes = sorted(p.code for p in sig.patterns)
+            services.append(
+                {
+                    "name": name,
+                    "domains": list(sig.domains),
+                    "patterns": codes,
+                    "profiles": {
+                        code: service.profile_for(code).fingerprint()
+                        for code in codes
+                    },
+                    "default_profile": service.profile.fingerprint(),
+                }
+            )
+        payload = {
+            "services": services,
+            "join_methods": sorted(
+                (sorted(pair), method.value)
+                for pair, method in self._join_methods.items()
+            ),
+            "join_selectivities": sorted(
+                (sorted(pair), selectivity)
+                for pair, selectivity in self._join_selectivities.items()
+            ),
+            "default_join_selectivity": self.default_join_selectivity,
+        }
+        digest = content_digest(payload)
+        self._epoch_cache = (cache_key, digest)
+        return digest
 
     @staticmethod
     def _tops_out_quickly(profile: ServiceProfile) -> bool:

@@ -1,0 +1,286 @@
+"""The two-tier persistent plan cache.
+
+Optimized plans are pure functions of the plan-cache key (normalized
+query fingerprint + registry content epoch + metric + ``k`` + cache
+setting, see :mod:`repro.serving.fingerprint`), so they can be reused
+across requests, sessions, and *processes*.  The cache stores the
+serializable :class:`~repro.plans.spec.PlanSpec` — the three optimizer
+decisions (patterns, precedence, fetches) — plus the plan's estimated
+cost, never live plan objects: every hit rebuilds a fresh plan against
+the caller's registry, so no two sessions ever share a mutable plan
+(fetching factors grow in place during progressive execution).
+
+Two tiers:
+
+* **memory** — an LRU dict bounded by ``capacity``; hits refresh
+  recency, stores beyond capacity evict the least recently used entry;
+* **disk** — an optional JSON file (``path``) holding every entry ever
+  stored.  Lookups that miss memory fall through to disk and promote
+  the entry back into the LRU tier, so a restarted server (or a
+  sibling process pointed at the same file) starts warm.  Writes
+  re-read the file and merge before replacing it, so sequential
+  writers never destroy each other's entries; truly *concurrent*
+  writers remain last-merge-wins within the race window (a locking or
+  sqlite tier is the ROADMAP follow-up for real multi-writer fleets).
+
+Invalidation is by *construction*: the registry epoch is part of the
+key, so entries recorded under drifted service profiles are simply
+never addressed again.  :meth:`PlanCache.prune` removes them from the
+disk file when housekeeping is wanted.
+
+Cost model of the disk tier: every ``store`` rewrites the whole file
+(O(entries) per miss) — the deliberate price of per-store durability
+at this deployment's scale (tens to hundreds of distinct plan keys).
+A fleet caching orders of magnitude more plans wants the ROADMAP's
+sqlite/locking follow-up, not a bigger JSON file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.plans.spec import PlanSpec
+
+#: Marks entries written by this cache format.
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """One plan-cache hit: the decisions plus where they were found."""
+
+    spec: PlanSpec
+    cost: float
+    metric: str
+    epoch: str
+    tier: str  # "memory" | "disk"
+
+
+@dataclass
+class PlanCacheStats:
+    """Hit/miss accounting across the cache's lifetime."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from either tier."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups seen."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class _Entry:
+    spec_json: str
+    cost: float
+    metric: str
+    epoch: str
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec_json,
+            "cost": self.cost,
+            "metric": self.metric,
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "_Entry":
+        return cls(
+            spec_json=data["spec"],
+            cost=float(data["cost"]),
+            metric=data["metric"],
+            epoch=data["epoch"],
+        )
+
+
+@dataclass
+class PlanCache:
+    """LRU + optional-disk store of optimized plan specifications.
+
+    ``capacity=0`` disables the memory tier entirely (every lookup
+    misses unless a disk path is given) — the serving bench uses this
+    as its no-plan-cache baseline.
+    """
+
+    path: Path | str | None = None
+    capacity: int = 128
+    stats: PlanCacheStats = field(default_factory=PlanCacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+        self.path = Path(self.path) if self.path is not None else None
+        self._memory: OrderedDict[str, _Entry] = OrderedDict()
+        self._disk: dict[str, _Entry] = {}
+        if self.path is not None and self.path.exists():
+            self._disk = self._load(self.path)
+
+    # -- lookup/store ----------------------------------------------------
+
+    def lookup(self, key: str) -> CachedPlan | None:
+        """The cached plan under *key*, or None; promotes disk hits."""
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return self._hit(entry, "memory")
+        entry = self._disk.get(key)
+        if entry is not None:
+            self.stats.disk_hits += 1
+            self._admit(key, entry)
+            return self._hit(entry, "disk")
+        self.stats.misses += 1
+        return None
+
+    def store(self, key: str, spec: PlanSpec, cost: float, metric: str,
+              epoch: str) -> None:
+        """Record an optimized plan under *key* in both tiers."""
+        entry = _Entry(
+            spec_json=spec.to_json(), cost=cost, metric=metric, epoch=epoch
+        )
+        self.stats.stores += 1
+        self._admit(key, entry)
+        if self.path is not None:
+            self._disk[key] = entry
+            self._flush(merge=True)
+
+    def _hit(self, entry: _Entry, tier: str) -> CachedPlan:
+        return CachedPlan(
+            spec=PlanSpec.from_json(entry.spec_json),
+            cost=entry.cost,
+            metric=entry.metric,
+            epoch=entry.epoch,
+            tier=tier,
+        )
+
+    def _admit(self, key: str, entry: _Entry) -> None:
+        if self.capacity == 0:
+            return
+        self._memory[key] = entry
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- housekeeping ----------------------------------------------------
+
+    def prune(self, epoch: str) -> int:
+        """Drop every entry not recorded under *epoch*; returns count.
+
+        Purely housekeeping: stale entries are unreachable anyway
+        because the epoch participates in the key.
+        """
+        stale_memory = [
+            key for key, entry in self._memory.items() if entry.epoch != epoch
+        ]
+        for key in stale_memory:
+            del self._memory[key]
+        stale_disk = [
+            key for key, entry in self._disk.items() if entry.epoch != epoch
+        ]
+        for key in stale_disk:
+            del self._disk[key]
+        if stale_disk and self.path is not None:
+            self._flush()
+        return len(stale_memory) + len(set(stale_disk) - set(stale_memory))
+
+    def clear(self) -> None:
+        """Drop both tiers (and the disk file's entries)."""
+        self._memory.clear()
+        if self._disk:
+            self._disk.clear()
+            if self.path is not None:
+                self._flush()
+
+    @property
+    def memory_entries(self) -> int:
+        """Entries currently resident in the LRU tier."""
+        return len(self._memory)
+
+    @property
+    def disk_entries(self) -> int:
+        """Entries currently resident in the disk tier."""
+        return len(self._disk)
+
+    # -- disk format -----------------------------------------------------
+
+    def _flush(self, merge: bool = False) -> None:
+        """Atomically rewrite the disk file from the disk-tier dict.
+
+        With ``merge``, entries another process persisted since our
+        last read are folded in first (our own keys win), so
+        sequentially interleaved writers accumulate instead of
+        clobbering.  ``prune``/``clear`` flush without merging —
+        removal must not resurrect what was just dropped.
+        """
+        assert self.path is not None
+        if merge and self.path.exists():
+            for key, entry in self._load(self.path).items():
+                self._disk.setdefault(key, entry)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": {
+                key: entry.to_dict() for key, entry in self._disk.items()
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream, sort_keys=True)
+            os.replace(temp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _load(path: Path) -> dict[str, _Entry]:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if payload.get("version") != _FORMAT_VERSION:
+            return {}
+        entries = payload.get("entries", {})
+        loaded: dict[str, _Entry] = {}
+        for key, data in entries.items():
+            try:
+                loaded[key] = _Entry.from_dict(data)
+            except (KeyError, TypeError, ValueError):
+                continue  # skip individually corrupt rows
+        return loaded

@@ -1,0 +1,317 @@
+"""The multi-tenant query-serving facade.
+
+:class:`QueryService` turns the one-shot optimize-then-execute
+pipeline into a server: ``submit(query, k)`` answers with the top-k
+rows plus a session id, ``ask_for_more(session_id)`` continues a
+suspended session, and repeated traffic is amortized three ways —
+
+* the **plan cache** (:mod:`repro.serving.plan_cache`) skips the
+  branch-and-bound search entirely when the normalized query
+  fingerprint + registry epoch + (metric, k, cache setting) were seen
+  before, in this process or a previous one;
+* the **shared service cache** — one
+  :class:`~repro.execution.cache.LogicalCache` spanning *all* requests
+  and sessions, so a page fetched for one tenant answers every later
+  overlapping call for free;
+* **progressive sessions** (:mod:`repro.serving.sessions`) — each
+  submission leaves a suspended stream behind, so asking for more
+  resumes instead of re-optimizing or re-executing.
+
+Responses are plain data (:class:`QueryResponse`,
+``to_dict``/``to_json``): projected rows, composed ranks, execution
+statistics, and *cache provenance* — whether the plan came from the
+optimizer, the memory tier, or the disk tier.
+
+**Equivalence contract**: a plan-cache hit rebuilds the plan from its
+stored :class:`~repro.plans.spec.PlanSpec` and executes it against the
+shared caches; the produced rows, ranks, and order are bit-identical
+to a cold optimize+execute on a fresh service (the hypothesis suite in
+``tests/test_serving.py`` enforces this differentially).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.costs.base import CostMetric
+from repro.costs.time_cost import ExecutionTimeMetric
+from repro.execution.cache import CacheSetting, LogicalCache, make_cache
+from repro.execution.engine import ExecutionMode, ExecutionResult
+from repro.execution.progressive import ProgressiveExecutor, ProgressiveRound
+from repro.model.parser import parse_query
+from repro.model.query import ConjunctiveQuery
+from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.plans.spec import PlanSpec
+from repro.serving.fingerprint import (
+    optimizer_config_token,
+    plan_cache_key,
+    query_fingerprint,
+)
+from repro.serving.plan_cache import PlanCache
+from repro.serving.sessions import SessionManager
+from repro.services.registry import ServiceRegistry
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """One JSON-serializable answer to ``submit``/``ask_for_more``.
+
+    ``rows`` are the projected head tuples in composed rank order;
+    ``rank_keys`` the aggregated rank of each row; ``ranks`` the
+    per-row provenance (``(node_id, service rank index)`` pairs).
+    ``provenance`` records where the plan came from: ``"optimized"``
+    (cache miss, branch-and-bound ran), ``"memory"`` / ``"disk"``
+    (plan-cache tiers), or ``"session"`` (a resumed continuation —
+    no plan lookup at all).
+    """
+
+    session_id: str
+    k: int
+    columns: tuple[str, ...]
+    rows: tuple[tuple, ...]
+    rank_keys: tuple[int, ...]
+    ranks: tuple[tuple[tuple[str, int], ...], ...]
+    complete: bool
+    provenance: str
+    #: Estimated cost of the served plan; None for session resumes
+    #: (no plan was looked up or costed).
+    plan_cost: float | None
+    metric: str
+    fingerprint: str
+    epoch: str
+    stats: dict
+
+    def to_dict(self) -> dict:
+        """Plain-data rendering (everything JSON-serializable)."""
+        return {
+            "session_id": self.session_id,
+            "k": self.k,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "rank_keys": list(self.rank_keys),
+            "ranks": [
+                [[node_id, rank] for node_id, rank in row_ranks]
+                for row_ranks in self.ranks
+            ],
+            "complete": self.complete,
+            "provenance": self.provenance,
+            "plan_cost": self.plan_cost,
+            "metric": self.metric,
+            "fingerprint": self.fingerprint,
+            "epoch": self.epoch,
+            "stats": self.stats,
+        }
+
+    def to_json(self) -> str:
+        """The response as a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+@dataclass
+class ServingStats:
+    """Request-level accounting for one :class:`QueryService`."""
+
+    requests: int = 0
+    continuations: int = 0
+    optimizer_runs: int = 0
+    optimizer_annotate_calls: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot."""
+        return {
+            "requests": self.requests,
+            "continuations": self.continuations,
+            "optimizer_runs": self.optimizer_runs,
+            "optimizer_annotate_calls": self.optimizer_annotate_calls,
+        }
+
+
+@dataclass
+class QueryService:
+    """Serves queries over one registry with shared caches + sessions.
+
+    ``plan_cache`` may be shared between several services (a fleet of
+    tenants over different registries): keys embed each registry's
+    content epoch, so entries never cross tenants.  ``mode`` defaults
+    to streamed execution so sessions suspend cheaply; any mode works
+    (answers are mode-independent by the engine's contract).
+    """
+
+    registry: ServiceRegistry
+    metric: CostMetric = field(default_factory=ExecutionTimeMetric)
+    k_default: int = 10
+    mode: ExecutionMode = ExecutionMode.STREAMED
+    cache_setting: CacheSetting = CacheSetting.OPTIMAL
+    plan_cache: PlanCache = field(default_factory=PlanCache)
+    sessions: SessionManager = field(default_factory=SessionManager)
+    optimizer_config: OptimizerConfig | None = None
+    #: One logical cache across all requests; False gives each session
+    #: a private cache (the no-sharing baseline).
+    share_service_cache: bool = True
+    stats: ServingStats = field(default_factory=ServingStats)
+
+    def __post_init__(self) -> None:
+        self._service_cache: LogicalCache | None = (
+            make_cache(self.cache_setting) if self.share_service_cache else None
+        )
+
+    # -- the request surface --------------------------------------------
+
+    def submit(
+        self, query: ConjunctiveQuery | str, k: int | None = None
+    ) -> QueryResponse:
+        """Answer the top-``k`` of *query*, opening a session.
+
+        Accepts a parsed :class:`ConjunctiveQuery` or datalog text.
+        The plan is taken from the plan cache when the fingerprint and
+        optimization context match; otherwise the optimizer runs and
+        its decisions are stored for every later submission.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        k = self.k_default if k is None else k
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.stats.requests += 1
+        fingerprint = query_fingerprint(query)
+        epoch = self.registry.content_epoch()
+        config = replace(
+            self.optimizer_config or OptimizerConfig(),
+            k=k,
+            cache_setting=self.cache_setting,
+        )
+        key = plan_cache_key(
+            fingerprint, epoch, self.metric.name, k,
+            self.cache_setting.value, optimizer_config_token(config),
+        )
+        annotate_calls = 0
+        hit = self.plan_cache.lookup(key)
+        if hit is not None:
+            plan = hit.spec.build(query, self.registry)
+            cost = hit.cost
+            provenance = hit.tier
+        else:
+            optimized = Optimizer(self.registry, self.metric, config).optimize(
+                query
+            )
+            plan = optimized.plan
+            cost = optimized.cost
+            provenance = "optimized"
+            annotate_calls = optimized.stats.annotate_calls
+            self.stats.optimizer_runs += 1
+            self.stats.optimizer_annotate_calls += annotate_calls
+            self.plan_cache.store(
+                key, PlanSpec.from_optimized(optimized), cost,
+                self.metric.name, epoch,
+            )
+        executor = ProgressiveExecutor(
+            registry=self.registry,
+            plan=plan,
+            head=tuple(query.head),
+            mode=self.mode,
+            cache_setting=self.cache_setting,
+            shared_cache=self._service_cache,
+            reset_remote=False,
+        )
+        result = executor.run(k)
+        session = self.sessions.create(
+            query=query, executor=executor, delivered=len(result.rows)
+        )
+        return self._respond(
+            session.session_id, query, result, k, provenance, cost,
+            fingerprint, epoch, annotate_calls, executor.rounds,
+        )
+
+    def ask_for_more(
+        self, session_id: str, additional: int | None = None
+    ) -> QueryResponse:
+        """Continue a session: *additional* more answers (default k).
+
+        Raises :class:`~repro.serving.sessions.SessionError` when the
+        session is unknown, expired, or released — the caller then
+        re-submits (which is exactly one plan-cache hit away from the
+        continuation it lost).
+        """
+        session = self.sessions.get(session_id)
+        assert session.executor is not None  # live sessions are open
+        self.stats.requests += 1
+        self.stats.continuations += 1
+        additional = self.k_default if additional is None else additional
+        rounds_before = len(session.executor.rounds)
+        result = session.executor.more(additional)
+        session.delivered = len(result.rows)
+        query = session.query
+        return self._respond(
+            session_id, query, result, session.delivered, "session",
+            None, query_fingerprint(query),
+            self.registry.content_epoch(), 0,
+            session.executor.rounds[rounds_before:],
+        )
+
+    def release(self, session_id: str) -> bool:
+        """Close a session's continuation state; False when unknown."""
+        return self.sessions.release(session_id)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state of the whole serving layer."""
+        return {
+            "serving": self.stats.to_dict(),
+            "plan_cache": self.plan_cache.stats.to_dict(),
+            "sessions": {
+                "active": len(self.sessions),
+                **self.sessions.stats.to_dict(),
+            },
+        }
+
+    # -- internals -------------------------------------------------------
+
+    def _respond(
+        self,
+        session_id: str,
+        query: ConjunctiveQuery,
+        result: ExecutionResult,
+        k: int,
+        provenance: str,
+        cost: float | None,
+        fingerprint: str,
+        epoch: str,
+        annotate_calls: int,
+        rounds: Sequence[ProgressiveRound],
+    ) -> QueryResponse:
+        top = result.table.top(k)
+        # A request that grew through several progressive rounds did
+        # the work of *all* of them — each round's statistics object
+        # is fresh, so totals are summed over the request's rounds,
+        # not read off the final result alone.
+        round_stats = [r.stats for r in rounds if r.stats is not None]
+        stats = {
+            "service_calls": sum(s.total_calls for s in round_stats),
+            "page_fetches": sum(s.total_fetches for s in round_stats),
+            "cache_hits": sum(s.total_cache_hits for s in round_stats),
+            "tuples_fetched": sum(
+                s.total_tuples_fetched for s in round_stats
+            ),
+            "elapsed_virtual_s": round(
+                sum(s.elapsed for s in round_stats), 6
+            ),
+            "rounds": len(rounds),
+            "annotate_calls": annotate_calls,
+            "answers_available": len(result.rows),
+        }
+        return QueryResponse(
+            session_id=session_id,
+            k=k,
+            columns=tuple(variable.name for variable in query.head),
+            rows=tuple(row.project(query.head) for row in top),
+            rank_keys=tuple(row.rank_key() for row in top),
+            ranks=tuple(row.ranks for row in top),
+            complete=result.table.complete,
+            provenance=provenance,
+            plan_cost=cost,
+            metric=self.metric.name,
+            fingerprint=fingerprint,
+            epoch=epoch,
+            stats=stats,
+        )

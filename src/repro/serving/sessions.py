@@ -1,0 +1,164 @@
+"""Progressive sessions: suspended streams held between requests.
+
+A submission answers with its top-k *and* leaves a continuation
+behind: the :class:`~repro.execution.progressive.ProgressiveExecutor`
+(holding the suspended :class:`~repro.execution.joins.JoinStream` and
+its lazy service cursors) can produce more answers without
+re-optimizing or re-executing.  The :class:`SessionManager` is the
+server-side registry of those continuations.
+
+Continuations pin cursor state (fetched pages, suspended walks), so
+they cannot be kept forever; the manager bounds them two ways:
+
+* **capacity** — at most ``capacity`` live sessions; creating one more
+  evicts the least recently *touched* session first;
+* **TTL** — a session untouched for longer than ``ttl`` seconds is
+  expired lazily (on any create/get/sweep).
+
+Releases are deterministic: :meth:`Session.close` drops the executor
+reference immediately (no finalizer involvement), so the suspended
+stream, its cursors, and their fetched pages become collectable the
+moment the session ends, and a closed session can never resume.  The
+clock is injectable, so tests drive TTL expiry without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.execution.progressive import ProgressiveExecutor
+from repro.model.query import ConjunctiveQuery
+
+
+class SessionError(KeyError):
+    """Raised for unknown, expired, or released session ids."""
+
+
+@dataclass
+class SessionStats:
+    """Lifecycle accounting across the manager's lifetime."""
+
+    created: int = 0
+    expired: int = 0
+    evicted: int = 0
+    released: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot."""
+        return {
+            "created": self.created,
+            "expired": self.expired,
+            "evicted": self.evicted,
+            "released": self.released,
+        }
+
+
+@dataclass
+class Session:
+    """One suspended progressive query with its continuation state."""
+
+    session_id: str
+    query: ConjunctiveQuery
+    executor: ProgressiveExecutor | None
+    created_at: float
+    touched_at: float
+    delivered: int = 0
+
+    @property
+    def closed(self) -> bool:
+        """True once the continuation state has been released."""
+        return self.executor is None
+
+    def close(self) -> None:
+        """Release the continuation state (stream, cursors, cache refs)."""
+        self.executor = None
+
+
+@dataclass
+class SessionManager:
+    """Holds live sessions with TTL + capacity eviction."""
+
+    capacity: int = 64
+    ttl: float | None = 600.0
+    clock: Callable[[], float] = time.monotonic
+    stats: SessionStats = field(default_factory=SessionStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {self.ttl}")
+        self._sessions: dict[str, Session] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def active_ids(self) -> tuple[str, ...]:
+        """Ids of live sessions, least recently touched first."""
+        ordered = sorted(
+            self._sessions.values(), key=lambda s: (s.touched_at, s.session_id)
+        )
+        return tuple(session.session_id for session in ordered)
+
+    def create(
+        self, query: ConjunctiveQuery, executor: ProgressiveExecutor,
+        delivered: int = 0,
+    ) -> Session:
+        """Register a new session, evicting to stay within capacity."""
+        self.sweep()
+        while len(self._sessions) >= self.capacity:
+            oldest = self.active_ids[0]
+            self._sessions.pop(oldest).close()
+            self.stats.evicted += 1
+        self._counter += 1
+        now = self.clock()
+        session = Session(
+            session_id=f"s{self._counter:06d}",
+            query=query,
+            executor=executor,
+            created_at=now,
+            touched_at=now,
+            delivered=delivered,
+        )
+        self._sessions[session.session_id] = session
+        self.stats.created += 1
+        return session
+
+    def get(self, session_id: str) -> Session:
+        """The live session *session_id*, touched; raises when gone."""
+        self.sweep()
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(
+                f"session {session_id!r} is unknown, expired, or released"
+            )
+        session.touched_at = self.clock()
+        return session
+
+    def release(self, session_id: str) -> bool:
+        """Explicitly close and drop a session; False when unknown."""
+        session = self._sessions.pop(session_id, None)
+        if session is None:
+            return False
+        session.close()
+        self.stats.released += 1
+        return True
+
+    def sweep(self) -> tuple[str, ...]:
+        """Expire every session idle beyond the TTL; returns their ids."""
+        if self.ttl is None:
+            return ()
+        deadline = self.clock() - self.ttl
+        expired = [
+            session_id
+            for session_id, session in self._sessions.items()
+            if session.touched_at <= deadline
+        ]
+        for session_id in expired:
+            self._sessions.pop(session_id).close()
+            self.stats.expired += 1
+        return tuple(expired)

@@ -50,6 +50,89 @@ class TestOptimize:
             main(["optimize", "not a query", "--no-execute"])
 
 
+class TestQueryCommand:
+    def test_repeat_flips_provenance_to_memory(self, capsys):
+        assert main(
+            ["query", "--domain", "weekend", "-k", "3", "--repeat", "2"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        import json
+
+        first, second, snapshot = (json.loads(line) for line in lines)
+        assert first["provenance"] == "optimized"
+        assert second["provenance"] == "memory"
+        assert second["rows"] == first["rows"]
+        assert second["rank_keys"] == first["rank_keys"]
+        assert second["stats"]["service_calls"] == 0  # shared service cache
+        assert snapshot["plan_cache"]["memory_hits"] == 1
+
+    def test_adhoc_query_and_disk_persistence(self, capsys, tmp_path):
+        cache_path = str(tmp_path / "plans.json")
+        query = (
+            "q(City, Price) :- lowcost('Milano', City, Date, Price), "
+            "Price <= 60."
+        )
+        import json
+
+        assert main(
+            ["query", query, "--domain", "weekend", "-k", "2",
+             "--plan-cache", cache_path]
+        ) == 0
+        first = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert first["provenance"] == "optimized"
+        # A second process (fresh service) starts warm from disk.
+        assert main(
+            ["query", query, "--domain", "weekend", "-k", "2",
+             "--plan-cache", cache_path]
+        ) == 0
+        second = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert second["provenance"] == "disk"
+        assert second["rows"] == first["rows"]
+
+
+class TestServeCommand:
+    def test_serve_loop(self, capsys, monkeypatch):
+        import io
+        import json
+
+        script = (
+            "q(City, Date, Price, Venue) :- "
+            "lowcost('Milano', City, Date, Price), "
+            "concerts(City, Date, 'Mahler', Venue), Price <= 120.\n"
+            "more s000001 2\n"
+            "not a query\n"
+            "stats\n"
+            "quit\n"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve", "--domain", "weekend", "-k", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        submitted = json.loads(lines[0])
+        assert submitted["provenance"] == "optimized"
+        assert submitted["session_id"] == "s000001"
+        more = json.loads(lines[1])
+        assert more["provenance"] == "session"
+        assert len(more["rows"]) >= len(submitted["rows"])
+        assert "error" in json.loads(lines[2])
+        stats = json.loads(lines[3])
+        assert stats["serving"]["continuations"] == 1
+
+    def test_query_named_like_more_is_not_misrouted(self, capsys, monkeypatch):
+        import io
+        import json
+
+        script = (
+            "more_shows(City, Venue) :- "
+            "concerts(City, Date, 'Mahler', Venue).\n"
+            "quit\n"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve", "--domain", "weekend", "-k", "2"]) == 0
+        response = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert "error" not in response
+        assert response["columns"] == ["City", "Venue"]
+
+
 class TestArgparse:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

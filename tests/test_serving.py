@@ -1,0 +1,425 @@
+"""The serving layer: plan cache, sessions, and the QueryService facade.
+
+The heart of the suite is the differential contract of the ISSUE: for
+random query templates and ``k`` budgets, a **plan-cache hit** (the
+plan rebuilt from its stored spec, executed against the warm shared
+service cache) must answer with rows, ranks, and order bit-identical
+to a **cold optimize+execute** on a fresh service with empty caches;
+and any profile perturbation must bump the registry epoch and force
+re-optimization.
+
+Ranks are compared by their *values* (per-service rank indexes and the
+composed rank key), not by plan-node labels: node ids come from a
+global counter, so two builds of the same plan label their nodes
+differently while producing identical answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.engine import ExecutionMode
+from repro.plans.spec import PlanSpec
+from repro.serving import (
+    PlanCache,
+    QueryService,
+    SessionError,
+    SessionManager,
+)
+from repro.serving.fingerprint import plan_cache_key, query_fingerprint
+from repro.sources.news import market_moving_news_query, news_registry
+from repro.sources.weekend import mahler_weekend_query, weekend_registry
+
+
+def _answer_signature(response):
+    """Everything answer-identical responses must agree on."""
+    return (
+        response.columns,
+        response.rows,
+        response.rank_keys,
+        tuple(
+            tuple(rank for _, rank in row_ranks) for row_ranks in response.ranks
+        ),
+        response.complete,
+    )
+
+
+# -- PlanCache --------------------------------------------------------------
+
+
+def _spec(codes=("io",), pairs=(), fetches=()) -> PlanSpec:
+    return PlanSpec(
+        pattern_codes=tuple(codes),
+        precedence_pairs=tuple(pairs),
+        fetches=tuple(fetches),
+    )
+
+
+class TestPlanCache:
+    def test_memory_hit_roundtrip(self):
+        cache = PlanCache()
+        spec = _spec(("io", "oi"), ((0, 1),), ((1, 4),))
+        cache.store("key", spec, 12.5, "time", "epoch")
+        hit = cache.lookup("key")
+        assert hit is not None
+        assert hit.spec == spec
+        assert hit.cost == 12.5
+        assert hit.tier == "memory"
+        assert cache.stats.memory_hits == 1
+
+    def test_miss_is_counted(self):
+        cache = PlanCache()
+        assert cache.lookup("absent") is None
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_is_by_recency(self):
+        cache = PlanCache(capacity=2)
+        cache.store("a", _spec(), 1.0, "time", "e")
+        cache.store("b", _spec(), 2.0, "time", "e")
+        assert cache.lookup("a") is not None  # refresh a
+        cache.store("c", _spec(), 3.0, "time", "e")  # evicts b
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") is not None
+        assert cache.lookup("c") is not None
+        assert cache.stats.evictions == 1
+
+    def test_capacity_zero_disables_the_memory_tier(self):
+        cache = PlanCache(capacity=0)
+        cache.store("a", _spec(), 1.0, "time", "e")
+        assert cache.lookup("a") is None
+        assert cache.memory_entries == 0
+
+    def test_disk_tier_survives_a_new_cache_instance(self, tmp_path):
+        path = tmp_path / "plans.json"
+        spec = _spec(("io",), (), ((0, 2),))
+        writer = PlanCache(path=path)
+        writer.store("key", spec, 7.0, "requests", "epoch")
+        reader = PlanCache(path=path)
+        hit = reader.lookup("key")
+        assert hit is not None
+        assert hit.tier == "disk"
+        assert hit.spec == spec
+        assert hit.metric == "requests"
+        # Promotion: the second lookup is a memory hit.
+        assert reader.lookup("key").tier == "memory"
+
+    def test_sequential_sibling_writers_merge_instead_of_clobbering(
+        self, tmp_path
+    ):
+        path = tmp_path / "plans.json"
+        # Both processes open the (empty) file before either stores.
+        writer_a = PlanCache(path=path)
+        writer_b = PlanCache(path=path)
+        writer_a.store("k1", _spec(("io",)), 1.0, "time", "e")
+        writer_b.store("k2", _spec(("oi",)), 2.0, "time", "e")
+        fresh = PlanCache(path=path)
+        assert fresh.lookup("k1") is not None
+        assert fresh.lookup("k2") is not None
+
+    def test_corrupt_disk_file_is_ignored(self, tmp_path):
+        path = tmp_path / "plans.json"
+        path.write_text("{not json")
+        cache = PlanCache(path=path)
+        assert cache.disk_entries == 0
+        cache.store("key", _spec(), 1.0, "time", "e")
+        assert PlanCache(path=path).lookup("key") is not None
+
+    def test_prune_drops_stale_epochs(self, tmp_path):
+        path = tmp_path / "plans.json"
+        cache = PlanCache(path=path)
+        cache.store("old", _spec(), 1.0, "time", "epoch1")
+        cache.store("new", _spec(), 2.0, "time", "epoch2")
+        assert cache.prune("epoch2") == 1
+        assert cache.lookup("old") is None
+        assert cache.lookup("new") is not None
+        assert PlanCache(path=path).disk_entries == 1
+
+
+# -- SessionManager ---------------------------------------------------------
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _executor(registry=None, query=None):
+    from repro.execution.progressive import ProgressiveExecutor
+    from repro.optimizer.optimizer import optimize_query
+    from repro.costs.time_cost import ExecutionTimeMetric
+
+    registry = registry or weekend_registry()
+    query = query or mahler_weekend_query()
+    optimized = optimize_query(query, registry, ExecutionTimeMetric(), k=2)
+    return ProgressiveExecutor(
+        registry=registry, plan=optimized.plan, head=tuple(query.head)
+    )
+
+
+class TestSessionManager:
+    def test_ttl_expiry_is_lazy_and_deterministic(self):
+        clock = _FakeClock()
+        manager = SessionManager(ttl=10.0, clock=clock)
+        session = manager.create(mahler_weekend_query(), _executor())
+        clock.now = 9.0
+        assert manager.get(session.session_id) is session  # touch at 9.0
+        clock.now = 18.0
+        assert manager.get(session.session_id) is session  # still within TTL
+        clock.now = 28.1
+        with pytest.raises(SessionError):
+            manager.get(session.session_id)
+        assert session.closed
+        assert manager.stats.expired == 1
+
+    def test_capacity_evicts_least_recently_touched(self):
+        clock = _FakeClock()
+        manager = SessionManager(capacity=2, ttl=None, clock=clock)
+        query = mahler_weekend_query()
+        executor = _executor()
+        first = manager.create(query, executor)
+        clock.now = 1.0
+        second = manager.create(query, executor)
+        clock.now = 2.0
+        manager.get(first.session_id)  # first is now the most recent
+        clock.now = 3.0
+        manager.create(query, executor)  # evicts second
+        assert manager.stats.evicted == 1
+        assert second.closed
+        with pytest.raises(SessionError):
+            manager.get(second.session_id)
+        assert manager.get(first.session_id) is first
+
+    def test_release_closes_immediately(self):
+        manager = SessionManager(ttl=None)
+        session = manager.create(mahler_weekend_query(), _executor())
+        assert manager.release(session.session_id) is True
+        assert session.closed
+        assert manager.release(session.session_id) is False
+        assert len(manager) == 0
+
+
+# -- QueryService -----------------------------------------------------------
+
+
+_TOPICS = ("merger", "earnings", "recall", "lawsuit")
+_SECTORS = ("tech", "energy", "retail")
+
+
+class TestQueryService:
+    def test_second_submit_is_a_memory_hit_with_zero_calls(self):
+        service = QueryService(registry=weekend_registry(), k_default=3)
+        query = mahler_weekend_query()
+        first = service.submit(query)
+        second = service.submit(query)
+        assert first.provenance == "optimized"
+        assert second.provenance == "memory"
+        assert _answer_signature(first) == _answer_signature(second)
+        assert second.stats["service_calls"] == 0
+        assert second.stats["annotate_calls"] == 0
+
+    def test_ask_for_more_resumes_the_session(self):
+        service = QueryService(registry=weekend_registry(), k_default=2)
+        first = service.submit(mahler_weekend_query())
+        more = service.ask_for_more(first.session_id, 3)
+        assert more.provenance == "session"
+        assert len(more.rows) >= len(first.rows)
+        assert more.rows[: len(first.rows)] == first.rows
+        assert service.stats.continuations == 1
+
+    def test_released_session_cannot_resume(self):
+        service = QueryService(registry=weekend_registry(), k_default=2)
+        response = service.submit(mahler_weekend_query())
+        assert service.release(response.session_id) is True
+        with pytest.raises(SessionError):
+            service.ask_for_more(response.session_id)
+
+    def test_different_k_is_a_different_cache_key(self):
+        service = QueryService(registry=weekend_registry())
+        query = mahler_weekend_query()
+        assert service.submit(query, k=2).provenance == "optimized"
+        assert service.submit(query, k=3).provenance == "optimized"
+        assert service.submit(query, k=2).provenance == "memory"
+
+    def test_different_optimizer_configs_never_share_plans(self):
+        from repro.optimizer.optimizer import OptimizerConfig
+
+        cache = PlanCache()
+        query = mahler_weekend_query()
+        default = QueryService(
+            registry=weekend_registry(), k_default=3, plan_cache=cache
+        )
+        square = QueryService(
+            registry=weekend_registry(), k_default=3, plan_cache=cache,
+            optimizer_config=OptimizerConfig(fetch_heuristic="square"),
+        )
+        assert default.submit(query).provenance == "optimized"
+        # Same query, same shared cache — but a different search
+        # config must not be served the other service's plan.
+        assert square.submit(query).provenance == "optimized"
+        assert default.submit(query).provenance == "memory"
+        assert square.submit(query).provenance == "memory"
+        assert square.stats.optimizer_runs == 1
+
+    def test_multi_round_submit_reports_cumulative_work(self):
+        # k far beyond the first round's yield forces progressive
+        # fetch growth; the response must account every round's calls,
+        # not just the final round's fresh counters.
+        service = QueryService(registry=weekend_registry(), k_default=40)
+        response = service.submit(mahler_weekend_query(), k=40)
+        assert response.stats["rounds"] > 1
+        executor = service.sessions.get(response.session_id).executor
+        assert response.stats["service_calls"] == sum(
+            r.new_calls for r in executor.rounds
+        )
+        assert response.stats["page_fetches"] == sum(
+            r.stats.total_fetches for r in executor.rounds if r.stats
+        )
+        assert response.stats["service_calls"] > 0
+
+    def test_epoch_bump_forces_reoptimization(self):
+        registry = weekend_registry()
+        service = QueryService(registry=registry, k_default=2)
+        query = mahler_weekend_query()
+        assert service.submit(query).provenance == "optimized"
+        assert service.submit(query).provenance == "memory"
+        # Profile drift: a re-estimated join selectivity bumps the
+        # registry's content epoch, stranding the cached plan.
+        registry.register_join_selectivity("lowcost", "concerts", 0.5)
+        bumped = service.submit(query)
+        assert bumped.provenance == "optimized"
+        assert service.stats.optimizer_runs == 2
+
+    def test_disk_tier_spans_service_instances(self, tmp_path):
+        path = tmp_path / "plans.json"
+        query = mahler_weekend_query()
+        warmup = QueryService(
+            registry=weekend_registry(), k_default=2,
+            plan_cache=PlanCache(path=path),
+        )
+        cold_answer = warmup.submit(query)
+        restarted = QueryService(
+            registry=weekend_registry(), k_default=2,
+            plan_cache=PlanCache(path=path),
+        )
+        warm_answer = restarted.submit(query)
+        assert warm_answer.provenance == "disk"
+        assert _answer_signature(warm_answer) == _answer_signature(cold_answer)
+
+    def test_parses_datalog_text(self):
+        service = QueryService(registry=weekend_registry(), k_default=2)
+        response = service.submit(
+            "q(City, Price) :- lowcost('Milano', City, Date, Price), "
+            "Price <= 60."
+        )
+        assert response.columns == ("City", "Price")
+        assert response.rows
+
+    def test_response_is_json_serializable(self):
+        import json
+
+        service = QueryService(registry=weekend_registry(), k_default=2)
+        response = service.submit(mahler_weekend_query())
+        decoded = json.loads(response.to_json())
+        assert decoded["provenance"] == "optimized"
+        assert decoded["rows"] == [list(row) for row in response.rows]
+        json.loads(
+            json.dumps(service.snapshot())
+        )  # the snapshot round-trips too
+
+
+class TestServingDifferential:
+    """Hypothesis: warm cache hits are bit-identical to cold runs."""
+
+    @given(
+        topic=st.sampled_from(_TOPICS),
+        sector=st.sampled_from(_SECTORS),
+        min_move=st.integers(3, 7),
+        k=st.integers(1, 6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_plan_cache_hit_matches_cold_optimize_execute(
+        self, topic, sector, min_move, k
+    ):
+        query = market_moving_news_query(topic, sector, min_move)
+        # Cold oracle: fresh registry, empty caches, optimizer runs.
+        cold = QueryService(registry=news_registry(), k_default=k)
+        cold_answer = cold.submit(query, k=k)
+        assert cold_answer.provenance == "optimized"
+        # Warm path: second submission on a service that has already
+        # optimized this template and fetched overlapping pages.
+        warm = QueryService(registry=news_registry(), k_default=k)
+        warm.submit(query, k=k)
+        warm_answer = warm.submit(query, k=k)
+        assert warm_answer.provenance == "memory"
+        assert warm_answer.stats["annotate_calls"] == 0
+        assert _answer_signature(warm_answer) == _answer_signature(cold_answer)
+
+    @given(
+        topic=st.sampled_from(_TOPICS),
+        k=st.integers(1, 5),
+        streamed=st.booleans(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_shared_service_cache_never_changes_answers(
+        self, topic, k, streamed
+    ):
+        mode = (
+            ExecutionMode.STREAMED if streamed else ExecutionMode.PARALLEL
+        )
+        shared = QueryService(
+            registry=news_registry(), k_default=k, mode=mode
+        )
+        # Warm the shared cache with *different* templates first.
+        for other_sector in _SECTORS:
+            shared.submit(market_moving_news_query(topic, other_sector), k=k)
+        query = market_moving_news_query(topic, "tech")
+        warm_answer = shared.submit(query, k=k)
+        isolated = QueryService(
+            registry=news_registry(), k_default=k, mode=mode,
+            share_service_cache=False,
+        )
+        isolated_answer = isolated.submit(query, k=k)
+        assert _answer_signature(warm_answer) == _answer_signature(
+            isolated_answer
+        )
+
+    @given(
+        erspi=st.floats(0.5, 20.0, allow_nan=False),
+        tau=st.floats(0.1, 5.0, allow_nan=False),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_profile_perturbation_changes_epoch_and_key(self, erspi, tau):
+        from repro.model.schema import signature
+        from repro.services.profile import exact_profile
+        from repro.services.registry import ServiceRegistry
+        from repro.services.table import TableExactService
+
+        def build(profile):
+            registry = ServiceRegistry()
+            registry.register(
+                TableExactService(
+                    signature("s", ["A", "B"], ["io"]), profile, [("a", "b")]
+                )
+            )
+            return registry
+
+        base = build(exact_profile(erspi=1.0, response_time=1.0))
+        perturbed = build(exact_profile(erspi=erspi, response_time=tau))
+        unchanged = erspi == 1.0 and tau == 1.0
+        assert (
+            base.content_epoch() == perturbed.content_epoch()
+        ) == unchanged
+        query = market_moving_news_query()
+        fingerprint = query_fingerprint(query)
+        base_key = plan_cache_key(
+            fingerprint, base.content_epoch(), "time", 5, "optimal", "cfg"
+        )
+        perturbed_key = plan_cache_key(
+            fingerprint, perturbed.content_epoch(), "time", 5, "optimal", "cfg"
+        )
+        assert (base_key == perturbed_key) == unchanged
