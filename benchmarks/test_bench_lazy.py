@@ -6,12 +6,23 @@ top-k executions at k ∈ {1, 10, 100}, against the eager streamed
 baseline (PR 2: early exit saves join work, but every service is still
 fully materialized up front) and the full-scan oracle.
 
-The workload is the paper's two-search-services shape on the
-rank-monotone plane: both services return their tuples in rank order
-(rank = position), every cell of the candidate plane is a matching
-combination, and the composed rank of cell ``(i, j)`` is ``i + j`` —
-exactly the regime where a pull-based rank-join touches ``O(k)`` rows
-per side.  Three engines run the same plan:
+Two workloads:
+
+* **pair** — the paper's two-search-services shape on the
+  rank-monotone plane: both services return their tuples in rank
+  order (rank = position), every cell of the candidate plane is a
+  matching combination, and the composed rank of cell ``(i, j)`` is
+  ``i + j`` — exactly the regime where a pull-based rank-join touches
+  ``O(k)`` rows per side;
+* **serial** — a serial-shaped plan: a ranked ``feeder`` proliferates
+  into FEEDS tuples, each feeding the multi-feed ``lefts`` node (one
+  budgeted block per feed tuple), merged with a single-feed
+  ``rights`` service at the final join.  This is the shape PR 5's
+  :class:`~repro.execution.lazy.MultiFeedCursor` exists for: before
+  it, multi-feed inputs were materialized eagerly and serial plans
+  saved no remote work at all.
+
+Three engines run each plan:
 
 * **oracle** — ``ExecutionMode.PARALLEL`` full materialization +
   ``compose_ranking`` (the equivalence reference);
@@ -52,6 +63,13 @@ CHUNK = 10
 FETCHES = -(-SIDE // CHUNK)  # enough budget to drain either service
 KS = (1, 10, 100)
 
+#: Serial-plan workload: FEEDS feeder tuples, each opening one block
+#: of PER ranked tuples on the multi-feed node.
+FEEDS = bench_scale(20, 6)
+PER = bench_scale(40, 10)
+SERIAL_CHUNK = 5
+SERIAL_FETCHES = -(-PER // SERIAL_CHUNK)
+
 
 def _plan(method: JoinMethod):
     """Two single-feed search services over the SIDE×SIDE plane."""
@@ -87,6 +105,58 @@ def _plan(method: JoinMethod):
     return registry, tuple(query.head), plan
 
 
+def _serial_plan(method: JoinMethod):
+    """feeder → multi-feed lefts (FEEDS blocks), joined with rights."""
+    registry = ServiceRegistry()
+    registry.register(
+        TableSearchService(
+            signature("feeder", ["Q", "X"], ["io"]),
+            search_profile(chunk_size=FEEDS, response_time=1.0),
+            [("q", x) for x in range(FEEDS)],
+            score=lambda row: float(-row[1]),
+        )
+    )
+    registry.register(
+        TableSearchService(
+            signature("lefts", ["X", "K", "L"], ["ioo"]),
+            search_profile(chunk_size=SERIAL_CHUNK, response_time=1.0),
+            [(x, 0, index) for x in range(FEEDS) for index in range(PER)],
+            score=lambda row: float(-row[2]),
+        )
+    )
+    registry.register(
+        TableSearchService(
+            signature("rights", ["Q", "K", "R"], ["ioo"]),
+            search_profile(chunk_size=SERIAL_CHUNK, response_time=1.0),
+            [("q", 0, index) for index in range(PER)],
+            score=lambda row: float(-row[2]),
+        )
+    )
+    registry.register_join_method("lefts", "rights", method)
+    key = Variable("K")
+    x, left_var, right_var = Variable("X"), Variable("L"), Variable("R")
+    query = ConjunctiveQuery(
+        name="lazyserial",
+        head=(key, left_var, right_var),
+        atoms=(
+            Atom("feeder", (Constant("q"), x)),
+            Atom("lefts", (x, key, left_var)),
+            Atom("rights", (Constant("q"), key, right_var)),
+        ),
+        predicates=(),
+    )
+    plan = PlanBuilder(query, registry).build(
+        (
+            registry.signature("feeder").pattern("io"),
+            registry.signature("lefts").pattern("ioo"),
+            registry.signature("rights").pattern("ioo"),
+        ),
+        Poset(n=3, pairs=frozenset({(0, 1)})),
+        fetches={0: 1, 1: SERIAL_FETCHES, 2: SERIAL_FETCHES},
+    )
+    return registry, tuple(query.head), plan
+
+
 def _timed(fn):
     start = time.perf_counter()
     value = fn()
@@ -103,6 +173,8 @@ def _measure(engine: ExecutionEngine, plan, head, k) -> dict:
         "tuples_fetched": stats.total_tuples_fetched,
         "lazy_tuples_fetched": stats.lazy_tuples_fetched,
         "lazy_calls_saved": stats.lazy_calls_saved,
+        "lazy_blocks": stats.lazy_blocks,
+        "lazy_blocks_untouched": stats.lazy_blocks_untouched,
         "cells_visited": stats.streamed_cells_visited,
         "wall_s": round(elapsed, 6),
     }
@@ -154,6 +226,49 @@ class TestLazyFetchTrajectory:
                 }
             per_method[method.value] = by_k
 
+        serial_per_method: dict[str, dict] = {}
+        for method in (JoinMethod.MERGE_SCAN, JoinMethod.NESTED_LOOP):
+            by_k = {}
+            for k in KS:
+                registry, head, plan = _serial_plan(method)
+                oracle = ExecutionEngine(
+                    registry, mode=ExecutionMode.PARALLEL
+                ).execute(plan, head=head)
+                expected = compose_ranking(oracle.rows, k)
+                eager = _measure(
+                    ExecutionEngine(
+                        registry,
+                        mode=ExecutionMode.STREAMED,
+                        lazy_streaming=False,
+                    ),
+                    plan, head, k,
+                )
+                lazy = _measure(
+                    ExecutionEngine(registry, mode=ExecutionMode.STREAMED),
+                    plan, head, k,
+                )
+                for measured in (eager, lazy):
+                    assert [
+                        (r.bindings, r.ranks) for r in measured["result"].rows
+                    ] == [(r.bindings, r.ranks) for r in expected]
+                # The PR 5 acceptance property: the multi-feed node of
+                # a serial plan now saves remote work too, strictly at
+                # small k, never costing extra.
+                assert lazy["tuples_fetched"] <= eager["tuples_fetched"]
+                assert lazy["page_fetches"] <= eager["page_fetches"]
+                if k < FEEDS * PER:
+                    assert lazy["tuples_fetched"] < eager["tuples_fetched"], (
+                        method, k,
+                    )
+                assert lazy["lazy_blocks"] == FEEDS + 1  # + rights cursor
+                if k == 1:
+                    assert lazy["lazy_blocks_untouched"] > 0
+                by_k[f"k={k}"] = {
+                    "eager_streamed": _strip(eager),
+                    "lazy_streamed": _strip(lazy),
+                }
+            serial_per_method[method.value] = by_k
+
         payload = {
             "bench": "lazy",
             "quick": QUICK,
@@ -168,6 +283,16 @@ class TestLazyFetchTrajectory:
                 "bit-identical to compose_ranking over PARALLEL execution",
             },
             "per_method": per_method,
+            "serial_workload": {
+                "plan": "feeder -> multi-feed lefts (one budgeted block "
+                "per feeder tuple), joined with single-feed rights",
+                "feeds": FEEDS,
+                "tuples_per_block": PER,
+                "chunk_size": SERIAL_CHUNK,
+                "fetch_budget_pages": SERIAL_FETCHES,
+                "k_values": list(KS),
+            },
+            "serial_per_method": serial_per_method,
         }
         (out_dir / bench_out_name("BENCH_lazy.json")).write_text(
             json.dumps(payload, indent=2) + "\n"
@@ -179,3 +304,11 @@ class TestLazyFetchTrajectory:
         result = benchmark(lambda: engine.execute(plan, head=head, k=10))
         assert len(result.rows) == 10
         assert result.stats.lazy_calls_saved > 0
+
+    def test_bench_lazy_serial_multifeed_top_10(self, benchmark):
+        registry, head, plan = _serial_plan(JoinMethod.MERGE_SCAN)
+        engine = ExecutionEngine(registry, mode=ExecutionMode.STREAMED)
+        result = benchmark(lambda: engine.execute(plan, head=head, k=10))
+        assert len(result.rows) == 10
+        assert result.stats.lazy_calls_saved > 0
+        assert result.stats.lazy_blocks == FEEDS + 1

@@ -30,6 +30,7 @@ from repro.execution.lazy import (
     LazyServiceCursor,
     ListPageSource,
     MaterializedCursor,
+    MultiFeedCursor,
     RowCursor,
 )
 from repro.execution.progressive import ProgressiveExecutor, ProgressiveRound
@@ -49,6 +50,7 @@ __all__ = [
     "ListPageSource",
     "LogicalCache",
     "MaterializedCursor",
+    "MultiFeedCursor",
     "NoCache",
     "OneCallCache",
     "OptimalCache",

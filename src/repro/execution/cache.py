@@ -15,11 +15,23 @@ Three settings are modeled:
 A cached entry is keyed by ``(service, input_key)`` and stores one
 result per fetched page, because a chunked service is re-fetched page
 by page for the same input setting.
+
+**Admission control.**  Within one experiment the optimal cache's
+unbounded growth is the point (each call happens once); a *serving*
+process, though, keeps one logical cache alive across every tenant
+and request, where unbounded growth is a leak.  :class:`OptimalCache`
+therefore takes an optional ``capacity`` — a bound on the number of
+cached pages, evicted least-recently-used first.  Eviction is *pure
+cost*: a logical cache can only ever change how often the remote side
+is called, never which tuples flow (the remote services are
+deterministic per ``(input, page)``), so answers are identical under
+any capacity — the regression suite pins this.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from enum import Enum
 from typing import Hashable
 
@@ -102,27 +114,67 @@ class OneCallCache(LogicalCache):
 
 
 class OptimalCache(LogicalCache):
-    """Remembers every call: one invocation per distinct input and page."""
+    """Remembers every call: one invocation per distinct input and page.
 
-    def __init__(self) -> None:
-        self._memo: dict[tuple[str, InputKey, int], object] = {}
+    ``capacity`` bounds the number of cached *pages* (the admission
+    control a long-lived serving process needs); ``None`` keeps the
+    paper's unbounded behavior.  Eviction is least-recently-used:
+    lookups refresh recency, stores evict the coldest entries once the
+    bound is exceeded.  ``evictions`` counts entries dropped — a
+    monitoring hook, not part of any equivalence contract.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self._capacity = capacity
+        self._memo: OrderedDict[tuple[str, InputKey, int], object] = (
+            OrderedDict()
+        )
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int | None:
+        """The admission bound (None: unbounded)."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._memo)
 
     def lookup(self, service: str, input_key: InputKey, page: int) -> object | None:
-        return self._memo.get((service, input_key, page))
+        key = (service, input_key, page)
+        value = self._memo.get(key)
+        if value is not None and self._capacity is not None:
+            self._memo.move_to_end(key)
+        return value
 
     def store(
         self, service: str, input_key: InputKey, page: int, value: object
     ) -> None:
-        self._memo[(service, input_key, page)] = value
+        key = (service, input_key, page)
+        self._memo[key] = value
+        if self._capacity is None:
+            return
+        self._memo.move_to_end(key)
+        while len(self._memo) > self._capacity:
+            self._memo.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         self._memo.clear()
 
 
-def make_cache(setting: CacheSetting) -> LogicalCache:
-    """Instantiate the cache implementation for *setting*."""
+def make_cache(
+    setting: CacheSetting, capacity: int | None = None
+) -> LogicalCache:
+    """Instantiate the cache implementation for *setting*.
+
+    ``capacity`` applies admission control to the optimal cache (see
+    :class:`OptimalCache`); the no-cache and one-call settings are
+    inherently bounded, so it is ignored there.
+    """
     if setting is CacheSetting.NO_CACHE:
         return NoCache()
     if setting is CacheSetting.ONE_CALL:
         return OneCallCache()
-    return OptimalCache()
+    return OptimalCache(capacity=capacity)

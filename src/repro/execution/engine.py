@@ -32,15 +32,17 @@ aggregates them according to the scheduling mode —
   :class:`~repro.execution.joins.JoinStream`: the candidate plane is
   walked lazily and the execution stops with a certificate that the
   top-k is complete, skipping the unvisited cells entirely.  Service
-  nodes feeding that join from a single input tuple are not
-  materialized up front at all: they are wrapped in
-  :class:`~repro.execution.lazy.LazyServiceCursor` and their pages are
+  nodes feeding that join are not materialized up front at all: a
+  single-tuple feed is wrapped in a
+  :class:`~repro.execution.lazy.LazyServiceCursor`, a multi-tuple feed
+  in a per-feed-block
+  :class:`~repro.execution.lazy.MultiFeedCursor`, and their pages are
   fetched only as the walk demands deeper rows, so early exit saves
   *remote service fetches* — the quantity the paper's cost model
   optimizes — not just join work (``lazy_calls_saved`` /
-  ``lazy_tuples_fetched`` on the statistics trace the saving;
-  multi-tuple feeds fall back to eager materialization, results
-  identical).  The result table is truncated to the proven top-k
+  ``lazy_tuples_fetched`` / ``lazy_blocks`` on the statistics trace
+  the saving, which now covers serial plans whose final join is fed
+  by proliferative upstream chains).  The result table is truncated to the proven top-k
   (``complete`` is False when answers beyond k were neither produced
   nor disproven), and the suspended stream rides along on the
   :class:`ExecutionResult` so "ask for more" can resume the walk
@@ -58,7 +60,7 @@ from typing import Mapping, Sequence
 
 from repro.execution.cache import CacheSetting, LogicalCache, make_cache
 from repro.execution.joins import JoinStream, execute_join_hashed
-from repro.execution.lazy import FetchedPage, LazyServiceCursor
+from repro.execution.lazy import FetchedPage, LazyServiceCursor, MultiFeedCursor
 from repro.execution.results import ResultTable, Row, compose_ranking
 from repro.execution.stats import ExecutionStats
 from repro.model.terms import Constant, Variable
@@ -90,8 +92,8 @@ class ExecutionMode(Enum):
       the one-call cache as the paper observes.
     * ``STREAMED`` — timing as ``PARALLEL``; with a ``k`` budget the
       final parallel join early-exits under a rank certificate and its
-      single-feed service inputs are fetched lazily, page by page, on
-      the walk's demand.  **Equivalence contract**: the produced rows,
+      service inputs — single- or multi-feed — are fetched lazily,
+      page by page, on the walk's demand.  **Equivalence contract**: the produced rows,
       ranks, and emission order are bit-identical to ``PARALLEL``
       execution followed by ``compose_ranking(rows, k)``; only the
       cost (cells visited, pages fetched) changes.  Without ``k`` the
@@ -174,9 +176,10 @@ class ExecutionEngine:
         self._thread_overhead = thread_overhead
         self._shuffle_seed = shuffle_seed
         #: Under STREAMED with a k budget, fetch the final join's
-        #: single-feed service inputs on demand; False restores PR 2's
-        #: eager materialization (same results, more remote fetches) —
-        #: the baseline the lazy bench measures against.
+        #: service inputs (single- and multi-feed) on demand; False
+        #: restores PR 2's eager materialization (same results, more
+        #: remote fetches) — the baseline the lazy bench measures
+        #: against.
         self._lazy_streaming = lazy_streaming
 
     def execute(
@@ -230,7 +233,7 @@ class ExecutionEngine:
             if streaming_join is not None and self._lazy_streaming
             else frozenset()
         )
-        lazy_cursors: dict[str, LazyServiceCursor] = {}
+        lazy_cursors: dict[str, LazyServiceCursor | MultiFeedCursor] = {}
 
         outputs: dict[str, list[Row]] = {}
         busy: dict[str, float] = {}
@@ -239,12 +242,10 @@ class ExecutionEngine:
                 outputs[node.node_id] = [Row(bindings={})]
                 busy[node.node_id] = 0.0
             elif isinstance(node, ServiceNode):
-                cursor = (
-                    self._open_lazy_cursor(plan, node, outputs, cache, stats)
-                    if node.node_id in lazy_candidates
-                    else None
-                )
-                if cursor is not None:
+                if node.node_id in lazy_candidates:
+                    cursor = self._open_lazy_cursor(
+                        plan, node, outputs, cache, stats
+                    )
                     lazy_cursors[node.node_id] = cursor
                     # The cursor's row list is live: it grows as the
                     # streamed walk demands pages, so the node-size
@@ -278,6 +279,8 @@ class ExecutionEngine:
             busy[node_id] = self._node_busy(cursor.latencies)
             stats.lazy_tuples_fetched += cursor.tuples_fetched
             stats.lazy_calls_saved += cursor.pages_saved()
+            stats.lazy_blocks += cursor.block_count
+            stats.lazy_blocks_untouched += cursor.blocks_untouched
         stats.elapsed = self._elapsed(plan, busy)
         produced = outputs[plan.output_node.node_id]
         if stream is not None:
@@ -456,7 +459,7 @@ class ExecutionEngine:
         plan: QueryPlan,
         node: JoinNode,
         outputs: dict[str, list[Row]],
-        lazy_cursors: Mapping[str, LazyServiceCursor] = {},
+        lazy_cursors: Mapping[str, LazyServiceCursor | MultiFeedCursor] = {},
     ) -> JoinStream:
         """Suspended streamed execution of the plan's final join.
 
@@ -489,9 +492,10 @@ class ExecutionEngine:
         A predecessor of the streamed join qualifies when it is a
         service node whose *only* consumer is that join: no other node
         may observe its output, so leaving part of it unfetched cannot
-        change any other dataflow.  (The single-feed condition, which
-        guarantees rank monotonicity, is checked per execution once the
-        feed is known — see :meth:`_open_lazy_cursor`.)
+        change any other dataflow.  Feed shape no longer matters —
+        single feeds get a plain lazy cursor, multi-tuple feeds a
+        per-block :class:`MultiFeedCursor` (see
+        :meth:`_open_lazy_cursor`).
         """
         eligible = []
         for predecessor in plan.predecessors(streaming_join):
@@ -509,16 +513,20 @@ class ExecutionEngine:
         outputs: dict[str, list[Row]],
         cache: LogicalCache,
         stats: ExecutionStats,
-    ) -> LazyServiceCursor | None:
-        """A demand-driven cursor over *node*, or None to stay eager.
+    ) -> LazyServiceCursor | MultiFeedCursor:
+        """A demand-driven cursor over *node*'s (possibly many) feeds.
 
-        Only single-feed nodes are wrapped: with one input tuple the
-        produced rank keys are non-decreasing (the feed rank is
-        constant and service ranks only grow), which is what makes the
-        lazy certificate's rank floor sound.  Multi-tuple feeds
-        interleave restarting rank sequences, so they take the full-
-        fetch fallback — the caller materializes them eagerly, exactly
-        as before.
+        A single-feed node produces one rank-monotone row sequence (the
+        feed rank is constant and service ranks only grow), wrapped in
+        a plain :class:`LazyServiceCursor`.  A multi-tuple feed
+        produces one such *block* per feed row; each block becomes its
+        own budgeted cursor (with its own page source, hence the same
+        per-input-tuple cache and call accounting as eager execution)
+        inside a :class:`MultiFeedCursor`, whose block-interleaving
+        certificate keeps the streamed walk sound.  Non-rank-monotone
+        behavior is handled dynamically inside the cursors (a full
+        drain of the offending block) — no input shape falls back to
+        eager materialization anymore.
         """
         predecessors = plan.predecessors(node)
         if len(predecessors) != 1:
@@ -526,10 +534,18 @@ class ExecutionEngine:
                 f"service node {node.label} must have exactly one predecessor"
             )
         feed = outputs[predecessors[0].node_id]
-        if len(feed) != 1:
-            return None
-        source = _LazyServicePageSource(self, node, feed[0], cache, stats)
-        return LazyServiceCursor(source, base_rank=feed[0].rank_key())
+        if len(feed) == 1:
+            source = _LazyServicePageSource(self, node, feed[0], cache, stats)
+            return LazyServiceCursor(source, base_rank=feed[0].rank_key())
+        return MultiFeedCursor(
+            [
+                LazyServiceCursor(
+                    _LazyServicePageSource(self, node, row, cache, stats),
+                    base_rank=row.rank_key(),
+                )
+                for row in feed
+            ]
+        )
 
     def _join_inputs(
         self,

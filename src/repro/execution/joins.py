@@ -271,10 +271,14 @@ class JoinStream:
     ``s + 1`` rows of each side, an NL row stage needs one more outer
     row (plus the full inner side) — and the certificate bounds the
     cells over never-fetched rows through the cursors'
-    :meth:`~repro.execution.lazy.RowCursor.suffix_min` (sound for
-    rank-monotone lazy inputs; non-monotone cursors fall back to a full
-    fetch).  Early exit therefore saves *remote page fetches*, not just
-    join work, while the emitted rows stay exactly the oracle's.
+    :meth:`~repro.execution.lazy.RowCursor.suffix_min`: a single-feed
+    service input is bounded by its rank floor, a multi-feed input
+    (:class:`~repro.execution.lazy.MultiFeedCursor`) by the min over
+    its per-feed blocks' floors and buffered ranks; cursors that
+    observe a rank regression fall back to a full fetch of the
+    offending block.  Early exit therefore saves *remote page
+    fetches*, not just join work, while the emitted rows stay exactly
+    the oracle's.
 
     Hence :meth:`top` is bit-identical — same rows, same ranks, same
     order — to filtering ``execute_join(method, left, right,
@@ -378,6 +382,22 @@ class JoinStream:
             if saved is not None:
                 total += saved()
         return total
+
+    @property
+    def lazy_blocks(self) -> int:
+        """Per-feed blocks behind the stream's lazy input cursors."""
+        return sum(
+            getattr(cursor, "block_count", 0)
+            for cursor in (self._left, self._right)
+        )
+
+    @property
+    def lazy_blocks_untouched(self) -> int:
+        """Lazy blocks that have not issued a single page fetch yet."""
+        return sum(
+            getattr(cursor, "blocks_untouched", 0)
+            for cursor in (self._left, self._right)
+        )
 
     def rebind_stats(self, stats: object) -> None:
         """Point lazy input accounting at *stats* (resumed rounds).

@@ -41,10 +41,43 @@ monotonicity is ever observed to fail (a defensive guard — it cannot
 happen for single-feed table services), the cursor **falls back to a
 full fetch**: it drains the remaining budgeted pages, after which the
 exact suffix minima over the complete row list are used, exactly as in
-eager execution.  Service nodes with multi-row feeds are never wrapped
-lazily in the first place (their rank sequences restart per feed
-tuple); the engine materializes them eagerly, which is the same
-fallback expressed statically.
+eager execution.
+
+**Multi-feed nodes: per-feed blocks.**  A service node fed by *many*
+input tuples produces one rank-monotone run of rows — a **block** —
+per feed tuple, concatenated in feed order; the concatenation as a
+whole is not monotone (each block restarts the service's rank sequence
+at the feed row's base rank).  :class:`MultiFeedCursor` lifts the
+single-feed argument to this shape: it owns one budgeted
+:class:`LazyServiceCursor` per block and keeps two invariants —
+
+* **placement** — the exposed ``rows`` list is always a *prefix of
+  the eager concatenation*: a block's rows are appended (globally
+  "placed") only once every earlier block is exhausted, so emission
+  order, arrival indexes, and therefore tie-breaking are identical to
+  eager execution by construction;
+* **block-interleaving certificate** — ``suffix_min`` combines the
+  exact suffix minima over the placed prefix with a bound on every
+  *unplaced* row: the min, over all blocks at or after the placement
+  front, of the block's exact fetched-but-unplaced ranks and (while
+  the block is unexhausted) its rank floor.  A demanded row's rank is
+  final only once **every** unexhausted block's floor exceeds it —
+  the same floor-participation invariant proved for single feeds,
+  lifted to a min-over-blocks.
+
+Pages are pulled from the unexhausted block with the **lowest floor**
+(ties broken toward the earliest feed, which keeps placement moving):
+raising the smallest floor is the only way the min-over-blocks bound
+can improve, so the interleaving is exactly the greedy that lets the
+certificate fire with the fewest page fetches, while blocks whose
+floor already exceeds the demanded threshold are never drained.  The
+pulled pages are always a *subset of the eager universe*, so under
+the no-cache and optimal cache settings remote fetches never exceed
+eager materialization's; the one-call cache is the one exception —
+its hits depend on arrival *order*, so interleaved pulls can miss
+where eager's contiguous per-feed order would have hit (answers are
+unaffected either way; only the fetch count can differ by the lost
+locality).
 
 The **fetch universe** of a lazy cursor is identical to what eager
 execution would materialize: at most the node's fetch budget ``F``
@@ -151,6 +184,34 @@ def _suffix_minima(values: Sequence[int]) -> list[float]:
     return minima
 
 
+def _extend_suffix_minima(
+    ranks: list[int], suffix: list[float], new_ranks: Sequence[int]
+) -> None:
+    """Append *new_ranks* to *ranks*, keeping *suffix* its suffix minima.
+
+    Appending rows can only *lower* existing suffix entries, and only
+    up to the first index the new minimum cannot improve — so the
+    back-propagation stops there instead of rebuilding the whole array
+    (an immediate stop in the monotone case, keeping a full drain
+    linear instead of quadratic).
+    """
+    old_count = len(ranks)
+    ranks.extend(new_ranks)
+    suffix.pop()  # the +inf sentinel, re-appended below
+    running = math.inf
+    tail: list[float] = [0.0] * len(new_ranks)
+    for index in range(len(new_ranks) - 1, -1, -1):
+        running = min(running, new_ranks[index])
+        tail[index] = running
+    suffix.extend(tail)
+    suffix.append(math.inf)
+    for index in range(old_count - 1, -1, -1):
+        updated = min(ranks[index], suffix[index + 1])
+        if updated == suffix[index]:
+            break
+        suffix[index] = updated
+
+
 class MaterializedCursor(RowCursor):
     """A cursor over rows that are already fully materialized.
 
@@ -228,6 +289,33 @@ class LazyServiceCursor(RowCursor):
         """The fetch budget ``F`` of the wrapped node."""
         return self._source.budget
 
+    @property
+    def is_monotone(self) -> bool:
+        """False once a rank regression was observed (floor untrusted)."""
+        return self._monotone
+
+    @property
+    def floor(self) -> float:
+        """Lower bound on every not-yet-fetched row's aggregated rank.
+
+        ``+inf`` once exhausted (no such row can exist); otherwise the
+        feed row's base rank plus the service's reported rank floor.
+        Only meaningful while :attr:`is_monotone` holds.
+        """
+        if self.exhausted:
+            return math.inf
+        return self._base_rank + self._rank_floor
+
+    @property
+    def block_count(self) -> int:
+        """Feed blocks behind this cursor (1: one feed tuple)."""
+        return 1
+
+    @property
+    def blocks_untouched(self) -> int:
+        """Blocks that never issued a single page fetch."""
+        return 0 if self.pages_fetched else 1
+
     def pages_saved(self) -> int:
         """Budgeted page fetches never issued (0 once the service ran dry)."""
         if self._saw_end:
@@ -243,6 +331,20 @@ class LazyServiceCursor(RowCursor):
     def ensure_all(self) -> None:
         while not self.exhausted:
             self._fetch_next()
+
+    def pull_page(self) -> None:
+        """Fetch exactly one more budgeted page (no-op when exhausted).
+
+        Drains the remaining budget on an observed monotonicity
+        violation, so callers holding many blocks
+        (:class:`MultiFeedCursor`) keep the invariant that every
+        *unexhausted* block is rank-monotone and its floor sound.
+        """
+        if self.exhausted:
+            return
+        self._fetch_next()
+        if not self._monotone:
+            self.ensure_all()
 
     def suffix_min(self, start: int) -> float:
         if not self._monotone and not self.exhausted:
@@ -283,33 +385,158 @@ class LazyServiceCursor(RowCursor):
             self.rows.append(row)
             new_ranks.append(rank)
         self._rank_floor = max(self._rank_floor, page.rank_floor)
-        self._absorb_ranks(new_ranks)
+        _extend_suffix_minima(self.ranks, self._suffix, new_ranks)
 
-    def _absorb_ranks(self, new_ranks: list[int]) -> None:
-        """Extend the suffix-minima array incrementally.
 
-        Appending rows can only *lower* existing suffix entries, and
-        only up to the first index the new minimum cannot improve —
-        so the back-propagation stops there instead of rebuilding the
-        whole array (an immediate stop in the monotone case, keeping a
-        full drain linear instead of quadratic).
+class MultiFeedCursor(RowCursor):
+    """Demand-driven cursor over a multi-feed service node's blocks.
+
+    One budgeted :class:`LazyServiceCursor` per feed tuple ("block").
+    The exposed ``rows`` list is always a prefix of the eager
+    feed-order concatenation: a block's fetched rows are *placed*
+    (appended globally) only once every earlier block is exhausted,
+    which preserves the oracle's emission order — and therefore
+    arrival-index tie-breaking — by construction.  Rows fetched into
+    blocks behind the placement front stay buffered inside their block
+    until placement reaches them; they still sharpen the certificate
+    through their exact ranks.
+
+    **Certificate** (see the module docstring): :meth:`suffix_min`
+    combines the exact suffix minima over the placed prefix with the
+    min over all blocks at or after the front of
+    ``block.suffix_min(placed_in_block)`` — exact ranks for buffered
+    rows, the block's rank floor for unfetched ones.  The floor of
+    every unexhausted block always participates, so a demanded row's
+    rank is final only once every unexhausted block's floor exceeds
+    it: the single-feed floor-participation invariant, lifted to a
+    min-over-blocks.
+
+    **Fetch policy**: :meth:`ensure` pulls one page at a time from the
+    unexhausted block with the lowest floor (ties toward the earliest
+    feed).  Raising the smallest floor is the only way the
+    min-over-blocks bound can improve, and the earliest-feed tie-break
+    keeps the placement front moving; the pulled set is always a
+    subset of the eager universe, so page pulls never exceed eager
+    materialization's (see the module docstring for the one-call-cache
+    caveat on *remote* fetch counts).
+    """
+
+    def __init__(self, blocks: Sequence[LazyServiceCursor]) -> None:
+        self._blocks = list(blocks)
+        self.rows = []
+        self.ranks = []
+        self._suffix: list[float] = [math.inf]
+        #: Rows of each block already placed into the global list.
+        self._placed = [0] * len(self._blocks)
+        self._front = 0
+        self._bound_cache: float | None = None
+        self._advance_placement()
+
+    @property
+    def exhausted(self) -> bool:
+        return self._front >= len(self._blocks)
+
+    @property
+    def block_count(self) -> int:
+        """Feed blocks (one per feed tuple) behind this cursor."""
+        return len(self._blocks)
+
+    @property
+    def blocks_untouched(self) -> int:
+        """Blocks that never issued a single page fetch."""
+        return sum(1 for block in self._blocks if block.pages_fetched == 0)
+
+    @property
+    def tuples_fetched(self) -> int:
+        """Raw service tuples pulled across all blocks."""
+        return sum(block.tuples_fetched for block in self._blocks)
+
+    @property
+    def latencies(self) -> list[float]:
+        """Remote fetch latencies across all blocks."""
+        return [
+            latency for block in self._blocks for latency in block.latencies
+        ]
+
+    def pages_saved(self) -> int:
+        """Budgeted page fetches never issued, summed over blocks."""
+        return sum(block.pages_saved() for block in self._blocks)
+
+    def ensure(self, count: int) -> None:
+        while len(self.rows) < count and not self.exhausted:
+            self._pull_lowest_floor()
+
+    def ensure_all(self) -> None:
+        for block in self._blocks:
+            block.ensure_all()
+        self._bound_cache = None
+        self._advance_placement()
+
+    def suffix_min(self, start: int) -> float:
+        if self._bound_cache is None:
+            self._bound_cache = self._unplaced_bound()
+        bound = self._bound_cache
+        if start < len(self.ranks):
+            # Indexes >= start span placed rows (exact suffix minima)
+            # and every unplaced row (covered by the bound, which must
+            # always participate while rows may still arrive).
+            return min(self._suffix[start], bound)
+        return bound
+
+    def swap_stats(self, stats: object) -> None:
+        for block in self._blocks:
+            block.swap_stats(stats)
+
+    # -- internals ----------------------------------------------------------
+
+    def _unplaced_bound(self) -> float:
+        """Lower bound on the rank of every not-yet-placed row.
+
+        Unplaced rows live in blocks at or after the placement front:
+        buffered rows are bounded by their exact ranks, unfetched rows
+        by the owning block's floor — both of which
+        ``block.suffix_min(placed)`` provides (for the front block all
+        fetched rows are placed, so only its floor contributes).
         """
-        old_count = len(self.ranks)
-        self.ranks.extend(new_ranks)
-        suffix = self._suffix
-        suffix.pop()  # the +inf sentinel, re-appended below
-        running = math.inf
-        tail: list[float] = [0.0] * len(new_ranks)
-        for index in range(len(new_ranks) - 1, -1, -1):
-            running = min(running, new_ranks[index])
-            tail[index] = running
-        suffix.extend(tail)
-        suffix.append(math.inf)
-        for index in range(old_count - 1, -1, -1):
-            updated = min(self.ranks[index], suffix[index + 1])
-            if updated == suffix[index]:
+        bound = math.inf
+        for index in range(self._front, len(self._blocks)):
+            candidate = self._blocks[index].suffix_min(self._placed[index])
+            if candidate < bound:
+                bound = candidate
+        return bound
+
+    def _pull_lowest_floor(self) -> None:
+        """Fetch one page from the unexhausted block with the lowest floor."""
+        best: LazyServiceCursor | None = None
+        best_floor = math.inf
+        for index in range(self._front, len(self._blocks)):
+            block = self._blocks[index]
+            if block.exhausted:
+                continue
+            if block.floor < best_floor:
+                best, best_floor = block, block.floor
+        if best is None:  # pragma: no cover - guarded by ``exhausted``
+            return
+        best.pull_page()
+        self._bound_cache = None
+        self._advance_placement()
+
+    def _advance_placement(self) -> None:
+        """Place newly placeable rows, advancing the front over drained
+        blocks.  Keeps ``rows`` a prefix of the eager concatenation."""
+        blocks = self._blocks
+        while self._front < len(blocks):
+            block = blocks[self._front]
+            placed = self._placed[self._front]
+            if placed < len(block.rows):
+                self.rows.extend(block.rows[placed:])
+                _extend_suffix_minima(
+                    self.ranks, self._suffix, block.ranks[placed:]
+                )
+                self._placed[self._front] = len(block.rows)
+            if not block.exhausted:
                 break
-            suffix[index] = updated
+            self._front += 1
 
 
 @dataclass

@@ -18,9 +18,11 @@ each round leaves behind a suspended
 inputs, and asking for more first *resumes* that stream — walking
 further into the candidate plane.  Over eagerly materialized inputs a
 resume issues **no service call at all**, under any cache setting.
-Over lazily fetched inputs (single-feed service nodes, see
+Over lazily fetched inputs (single- and multi-feed service nodes, see
 :mod:`repro.execution.lazy`) the resumed walk may *grow cursor demand*:
-it pulls further pages within the round's fetch budget — still far
+it pulls further pages within the round's fetch budget — for a
+multi-feed input, from the per-feed block whose rank floor is lowest,
+leaving blocks the certificate already clears untouched — still far
 cheaper than re-executing, recorded honestly on the resumed round's
 statistics, and stored in the shared logical cache so any later
 re-execution finds them for free.  Only when the suspended stream
@@ -215,6 +217,8 @@ class ProgressiveExecutor:
         stats.early_exit_cells_skipped = stream.cells_skipped
         stats.lazy_tuples_fetched = stream.lazy_tuples_fetched - fetched_before
         stats.lazy_calls_saved = stream.lazy_pages_saved
+        stats.lazy_blocks = stream.lazy_blocks
+        stats.lazy_blocks_untouched = stream.lazy_blocks_untouched
         # Virtual time of the resume: the lazy cursors sit on parallel
         # branches, so the round takes as long as its busiest service
         # (0.0 for the common all-from-fetched-pages resume).

@@ -71,6 +71,12 @@ class ExecutionStats:
     the round's statistics are finalized: a later stream resume can
     pull some of those pages after all, and then reports the shrunken
     remainder on *its own* round's statistics.
+
+    ``lazy_blocks`` / ``lazy_blocks_untouched`` are the per-block view
+    of the same saving: a lazy cursor owns one budgeted block per feed
+    tuple (one for single-feed nodes, many for multi-feed nodes of
+    serial plans), and an *untouched* block never issued a single page
+    fetch — its entire budget is remote work saved.
     """
 
     per_service: dict[str, ServiceCallStats] = field(default_factory=dict)
@@ -80,6 +86,8 @@ class ExecutionStats:
     streamed_fallback: bool = False
     lazy_tuples_fetched: int = 0
     lazy_calls_saved: int = 0
+    lazy_blocks: int = 0
+    lazy_blocks_untouched: int = 0
     #: Raw tuples that flowed through the logical-cache layer this
     #: execution, whether served from the cache or fetched remotely.
     #: Unlike ``tuples_fetched`` this is *cache-independent*: two
@@ -136,6 +144,11 @@ class ExecutionStats:
             lines.append(
                 f"  lazy: tuples_fetched={self.lazy_tuples_fetched}"
                 f" calls_saved={self.lazy_calls_saved}"
+            )
+        if self.lazy_blocks:
+            lines.append(
+                f"  lazy blocks: {self.lazy_blocks}"
+                f" untouched={self.lazy_blocks_untouched}"
             )
         for name in sorted(self.per_service):
             stats = self.per_service[name]

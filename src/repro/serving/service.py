@@ -37,7 +37,12 @@ from typing import Sequence
 
 from repro.costs.base import CostMetric
 from repro.costs.time_cost import ExecutionTimeMetric
-from repro.execution.cache import CacheSetting, LogicalCache, make_cache
+from repro.execution.cache import (
+    CacheSetting,
+    LogicalCache,
+    OptimalCache,
+    make_cache,
+)
 from repro.execution.engine import ExecutionMode, ExecutionResult
 from repro.execution.progressive import ProgressiveExecutor, ProgressiveRound
 from repro.model.parser import parse_query
@@ -150,11 +155,18 @@ class QueryService:
     #: One logical cache across all requests; False gives each session
     #: a private cache (the no-sharing baseline).
     share_service_cache: bool = True
+    #: Admission control for the shared service cache: at most this
+    #: many cached pages, evicted LRU-first (None: unbounded — fine
+    #: for experiments, a leak for a long-lived server).  Eviction can
+    #: only cost extra remote calls, never change answers.
+    service_cache_capacity: int | None = None
     stats: ServingStats = field(default_factory=ServingStats)
 
     def __post_init__(self) -> None:
         self._service_cache: LogicalCache | None = (
-            make_cache(self.cache_setting) if self.share_service_cache else None
+            make_cache(self.cache_setting, capacity=self.service_cache_capacity)
+            if self.share_service_cache
+            else None
         )
 
     # -- the request surface --------------------------------------------
@@ -256,7 +268,7 @@ class QueryService:
 
     def snapshot(self) -> dict:
         """JSON-serializable state of the whole serving layer."""
-        return {
+        state = {
             "serving": self.stats.to_dict(),
             "plan_cache": self.plan_cache.stats.to_dict(),
             "sessions": {
@@ -264,6 +276,13 @@ class QueryService:
                 **self.sessions.stats.to_dict(),
             },
         }
+        if isinstance(self._service_cache, OptimalCache):
+            state["service_cache"] = {
+                "entries": len(self._service_cache),
+                "capacity": self._service_cache.capacity,
+                "evictions": self._service_cache.evictions,
+            }
+        return state
 
     # -- internals -------------------------------------------------------
 

@@ -92,6 +92,135 @@ class TestOptimalCache:
         assert cache.lookup("s", "k", 0) is None
 
 
+class TestOptimalCacheAdmissionControl:
+    def test_capacity_bounds_entry_count(self):
+        cache = OptimalCache(capacity=2)
+        for index in range(5):
+            cache.store("s", f"k{index}", 0, f"v{index}")
+        assert len(cache) == 2
+        assert cache.evictions == 3
+        assert cache.lookup("s", "k4", 0) == "v4"
+        assert cache.lookup("s", "k0", 0) is None
+
+    def test_eviction_is_least_recently_used(self):
+        cache = OptimalCache(capacity=2)
+        cache.store("s", "a", 0, "va")
+        cache.store("s", "b", 0, "vb")
+        assert cache.lookup("s", "a", 0) == "va"  # refreshes 'a'
+        cache.store("s", "c", 0, "vc")  # must evict 'b', not 'a'
+        assert cache.lookup("s", "a", 0) == "va"
+        assert cache.lookup("s", "b", 0) is None
+        assert cache.lookup("s", "c", 0) == "vc"
+
+    def test_restore_of_existing_key_does_not_evict(self):
+        cache = OptimalCache(capacity=2)
+        cache.store("s", "a", 0, "va")
+        cache.store("s", "b", 0, "vb")
+        cache.store("s", "a", 0, "va2")  # overwrite, still 2 entries
+        assert cache.evictions == 0
+        assert cache.lookup("s", "a", 0) == "va2"
+        assert cache.lookup("s", "b", 0) == "vb"
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            OptimalCache(capacity=0)
+
+    def test_unbounded_default_never_evicts(self):
+        cache = OptimalCache()
+        for index in range(100):
+            cache.store("s", f"k{index}", 0, index)
+        assert len(cache) == 100
+        assert cache.evictions == 0
+        assert cache.capacity is None
+
+    def test_make_cache_passes_capacity_to_optimal_only(self):
+        bounded = make_cache(CacheSetting.OPTIMAL, capacity=3)
+        assert isinstance(bounded, OptimalCache)
+        assert bounded.capacity == 3
+        # Inherently bounded settings ignore the parameter.
+        assert isinstance(make_cache(CacheSetting.ONE_CALL, capacity=3), OneCallCache)
+        assert isinstance(make_cache(CacheSetting.NO_CACHE, capacity=3), NoCache)
+
+    def test_eviction_changes_call_counts_never_answers(self):
+        """The admission-control contract at the engine level: a tiny
+        capacity forces re-fetches, but the produced rows, ranks, and
+        order are identical to the unbounded cache's."""
+        from repro.execution.engine import ExecutionEngine, ExecutionMode
+        from repro.model.atoms import Atom
+        from repro.model.query import ConjunctiveQuery
+        from repro.model.schema import signature as sig
+        from repro.model.terms import Constant, Variable
+        from repro.plans.builder import PlanBuilder, Poset
+        from repro.services.profile import search_profile
+        from repro.services.registry import JoinMethod, ServiceRegistry
+        from repro.services.table import TableSearchService
+
+        def build():
+            registry = ServiceRegistry()
+            for name, var in (("lefts", "L"), ("rights", "R")):
+                registry.register(
+                    TableSearchService(
+                        sig(name, ["Q", "K", var], ["ioo"]),
+                        search_profile(chunk_size=2, response_time=1.0),
+                        [("q", i % 2, i) for i in range(8)],
+                        score=lambda row: float(-row[2]),
+                    )
+                )
+            registry.register_join_method(
+                "lefts", "rights", JoinMethod.MERGE_SCAN
+            )
+            key, lv, rv = Variable("K"), Variable("L"), Variable("R")
+            query = ConjunctiveQuery(
+                name="bounded",
+                head=(key, lv, rv),
+                atoms=(
+                    Atom("lefts", (Constant("q"), key, lv)),
+                    Atom("rights", (Constant("q"), key, rv)),
+                ),
+                predicates=(),
+            )
+            plan = PlanBuilder(query, registry).build(
+                (
+                    registry.signature("lefts").pattern("ioo"),
+                    registry.signature("rights").pattern("ioo"),
+                ),
+                Poset(n=2),
+                fetches={0: 4, 1: 4},
+            )
+            return registry, tuple(query.head), plan
+
+        outcomes = {}
+        for capacity in (None, 1):
+            registry, head, plan = build()
+            engine = ExecutionEngine(registry, mode=ExecutionMode.PARALLEL)
+            cache = OptimalCache(capacity=capacity)
+            calls = 0
+            rows = None
+            for _ in range(3):  # repeated executions share the cache
+                result = engine.execute(
+                    plan, head=head, reset_remote_caches=False,
+                    shared_cache=cache,
+                )
+                calls += result.stats.total_calls
+                # Node ids differ between plan builds; compare rank
+                # *values* (and the composed key), not node labels.
+                rows = [
+                    (
+                        dict(r.bindings),
+                        tuple(rank for _, rank in r.ranks),
+                        r.rank_key(),
+                    )
+                    for r in result.rows
+                ]
+            outcomes[capacity] = (rows, calls, cache.evictions)
+
+        unbounded_rows, unbounded_calls, _ = outcomes[None]
+        bounded_rows, bounded_calls, evictions = outcomes[1]
+        assert bounded_rows == unbounded_rows  # answers never change
+        assert evictions > 0  # the bound actually bit
+        assert bounded_calls >= unbounded_calls  # only cost changes
+
+
 class TestHierarchy:
     def test_optimal_supersedes_one_call(self):
         """Any hit in the one-call cache is also a hit in the optimal

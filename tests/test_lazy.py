@@ -302,11 +302,15 @@ class TestLazyStreamedEngine:
         ]
         assert all(sizes[n.node_id] == 4 for n in lazy_nodes)
 
-    def test_multi_feed_inputs_fall_back_to_eager(self, registry, travel_query):
+    def test_multi_feed_inputs_fetch_lazily_per_block(
+        self, registry, travel_query
+    ):
         """The travel plan's flight/hotel nodes are fed by multiple
-        weather tuples: their rank sequences restart per feed tuple,
-        so they must be materialized eagerly (and no lazy counter may
-        pretend otherwise)."""
+        weather tuples: each feed tuple becomes a budgeted block of a
+        :class:`MultiFeedCursor`, so the streamed walk fetches fewer
+        raw tuples than eager materialization while staying
+        bit-identical to the full-scan oracle — serial-shaped plans
+        now save remote work too."""
         from repro.sources.travel import (
             FLIGHT_ATOM,
             HOTEL_ATOM,
@@ -322,15 +326,25 @@ class TestLazyStreamedEngine:
         streamed = ExecutionEngine(registry, mode=ExecutionMode.STREAMED).execute(
             plan, head=head, k=2
         )
+        eager = ExecutionEngine(
+            registry, mode=ExecutionMode.STREAMED, lazy_streaming=False
+        ).execute(plan, head=head, k=2)
         oracle = ExecutionEngine(registry, mode=ExecutionMode.PARALLEL).execute(
             plan, head=head
         )
-        assert _signature(streamed.rows) == _signature(
-            compose_ranking(oracle.rows, 2)
-        )
-        assert streamed.stats.lazy_tuples_fetched == 0
-        assert streamed.stats.lazy_calls_saved == 0
+        expected = compose_ranking(oracle.rows, 2)
+        assert _signature(streamed.rows) == _signature(expected)
+        assert _signature(eager.rows) == _signature(expected)
         assert not streamed.stats.streamed_fallback
+        # One block per weather tuple, on both the flight and hotel side.
+        assert streamed.stats.lazy_blocks > 2
+        assert streamed.stats.lazy_calls_saved > 0
+        assert 0 < streamed.stats.lazy_tuples_fetched
+        assert (
+            streamed.stats.total_tuples_fetched
+            <= eager.stats.total_tuples_fetched
+        )
+        assert streamed.stats.total_fetches <= eager.stats.total_fetches
 
     def test_service_terminal_plan_sets_fallback_flag(
         self, tiny_registry, tiny_query

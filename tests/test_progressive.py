@@ -71,7 +71,7 @@ class TestStreamedResume:
     plane, so no service call issued in an earlier round is ever
     repeated — under *any* logical-cache setting."""
 
-    def _executor(self, registry, travel_query, setting):
+    def _executor(self, registry, travel_query, setting, lazy=True):
         plan = PlanBuilder(travel_query, registry).build(
             alpha1_patterns(), poset_optimal(),
             fetches={FLIGHT_ATOM: 2, HOTEL_ATOM: 2},
@@ -82,13 +82,20 @@ class TestStreamedResume:
             head=tuple(travel_query.head),
             mode=ExecutionMode.STREAMED,
             cache_setting=setting,
+            lazy_streaming=lazy,
         )
 
     @pytest.mark.parametrize("setting", list(CacheSetting), ids=lambda s: s.value)
     def test_resumed_stream_issues_no_service_calls(
         self, registry, travel_query, setting
     ):
-        executor = self._executor(registry, travel_query, setting)
+        """With eager materialization (``lazy_streaming=False``) the
+        suspended plane is fully fetched up front, so a resume is pure
+        walk: zero service interaction under every cache setting.
+        (Lazy resumes may pull budgeted pages; their honest accounting
+        is pinned by :class:`TestLazyStreamedResume` and
+        ``tests/test_lazy_multifeed.py``.)"""
+        executor = self._executor(registry, travel_query, setting, lazy=False)
         first = executor.run(k=2)
         assert first.stream is not None
         assert len(first.rows) == 2

@@ -281,6 +281,51 @@ class TestQueryService:
         )
         assert response.stats["service_calls"] > 0
 
+    def test_service_cache_admission_control_never_changes_answers(self):
+        """The ROADMAP follow-up: the shared service cache is size-
+        bounded with LRU eviction.  A capacity-1 service must answer a
+        repeated workload bit-identically to the unbounded one, paying
+        only extra remote calls."""
+        query = mahler_weekend_query()
+        outcomes = {}
+        for capacity in (None, 1):
+            service = QueryService(
+                registry=weekend_registry(),
+                k_default=3,
+                service_cache_capacity=capacity,
+            )
+            answers = [
+                _answer_signature(service.submit(query)) for _ in range(3)
+            ]
+            snapshot = service.snapshot()["service_cache"]
+            outcomes[capacity] = (answers, snapshot)
+        unbounded_answers, unbounded_snapshot = outcomes[None]
+        bounded_answers, bounded_snapshot = outcomes[1]
+        assert bounded_answers == unbounded_answers
+        assert bounded_snapshot["capacity"] == 1
+        assert bounded_snapshot["entries"] <= 1
+        assert bounded_snapshot["evictions"] > 0  # the bound bit
+        assert unbounded_snapshot["evictions"] == 0
+        assert unbounded_snapshot["entries"] > 1
+
+    def test_tiny_cache_capacity_costs_calls_not_correctness(self):
+        """Same workload, warm resubmission: the unbounded cache
+        absorbs it fully, the capacity-1 cache pays remote calls —
+        and both return identical rows."""
+        query = mahler_weekend_query()
+        calls = {}
+        for capacity in (None, 1):
+            service = QueryService(
+                registry=weekend_registry(),
+                k_default=3,
+                service_cache_capacity=capacity,
+            )
+            service.submit(query)
+            warm = service.submit(query)  # plan-cache + service-cache warm
+            calls[capacity] = warm.stats["service_calls"]
+        assert calls[None] == 0  # fully absorbed, as before this PR
+        assert calls[1] >= calls[None]
+
     def test_epoch_bump_forces_reoptimization(self):
         registry = weekend_registry()
         service = QueryService(registry=registry, k_default=2)
