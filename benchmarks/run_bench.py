@@ -9,6 +9,7 @@ run the benches explicitly through this entry point::
     python benchmarks/run_bench.py -k hotpaths     # one bench module
     python benchmarks/run_bench.py --benchmark-only
     python benchmarks/run_bench.py -k hotpaths --quick   # CI smoke
+    python benchmarks/run_bench.py -k hotpaths --profile # + cProfile
     python benchmarks/run_bench.py --list          # enumerate suites
 
 ``--quick`` shrinks the workload sizes (via the ``BENCH_QUICK``
@@ -16,6 +17,14 @@ environment variable, read by ``benchmarks/conftest.py``'s
 ``bench_scale``) so CI can smoke-test that the bench code still runs
 without paying the full measurement cost; quick runs exercise the same
 assertions but their timings are not comparable to full runs.
+
+``--profile`` wraps the selected scenario in :mod:`cProfile` (pytest
+runs in-process instead of a subprocess so the profiler sees the bench
+code) and writes the top 25 functions by cumulative time to
+``benchmarks/out/profile_<scenario>.txt``, where ``<scenario>`` is the
+``-k`` selection (``all`` when none is given).  Profiled timings carry
+instrumentation overhead — use them to find hot functions, not as the
+recorded trajectory numbers.
 
 Regenerated artifacts (paper tables/figures and the
 ``BENCH_*.json`` perf trajectories) land in ``benchmarks/out/``.
@@ -54,6 +63,45 @@ def list_suites() -> int:
     return 0
 
 
+def scenario_name(argv: list[str]) -> str:
+    """The ``-k`` selection naming the profiled scenario (``all`` if none)."""
+    for index, arg in enumerate(argv):
+        if arg == "-k" and index + 1 < len(argv):
+            return re.sub(r"[^A-Za-z0-9_]+", "_", argv[index + 1])
+        if arg.startswith("-k"):
+            return re.sub(r"[^A-Za-z0-9_]+", "_", arg[2:])
+    return "all"
+
+
+def run_profiled(pytest_args: list[str], scenario: str) -> int:
+    """Run pytest in-process under cProfile; write the top-25 report."""
+    import cProfile
+    import io
+    import pstats
+
+    import pytest
+
+    # Replicate the subprocess environment: src/ on the path for
+    # ``repro`` and the repo root for ``benchmarks.conftest``.
+    for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    os.chdir(REPO_ROOT)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    code = pytest.main(pytest_args)
+    profiler.disable()
+    out_dir = REPO_ROOT / "benchmarks" / "out"
+    out_dir.mkdir(exist_ok=True)
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    path = out_dir / f"profile_{scenario}.txt"
+    path.write_text(stream.getvalue())
+    print(f"profile written to {path.relative_to(REPO_ROOT)}")
+    return int(code)
+
+
 def main(argv: list[str]) -> int:
     if "--list" in argv:
         return list_suites()
@@ -65,10 +113,11 @@ def main(argv: list[str]) -> int:
     if "--quick" in argv:
         argv = [a for a in argv if a != "--quick"]
         env["BENCH_QUICK"] = "1"
-    command = [
-        sys.executable,
-        "-m",
-        "pytest",
+        os.environ["BENCH_QUICK"] = "1"  # for the in-process --profile path
+    profile = "--profile" in argv
+    if profile:
+        argv = [a for a in argv if a != "--profile"]
+    pytest_args = [
         str(REPO_ROOT / "benchmarks"),
         # The command line overrides the tier-1 `-m "not bench"` addopts.
         "-m",
@@ -76,6 +125,14 @@ def main(argv: list[str]) -> int:
         "-q",
         *argv,
     ]
+    if profile:
+        # pytest-benchmark pauses instrumentation around its timed
+        # rounds in a way cProfile's C-level profiler cannot survive
+        # (and profiled timings are not measurements anyway), so the
+        # benchmark fixture runs its function exactly once.
+        pytest_args.append("--benchmark-disable")
+        return run_profiled(pytest_args, scenario_name(argv))
+    command = [sys.executable, "-m", "pytest", *pytest_args]
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
 
 

@@ -14,7 +14,22 @@ before/after trajectory so future PRs can track the perf curve:
   reference full-plane :func:`~repro.execution.joins.execute_join`
   ("before") vs. the hash-partitioned
   :func:`~repro.execution.joins.execute_join_hashed` ("after") on a
-  randomized plane, with identical output required.
+  randomized plane, with identical output required;
+* **slot-row plane sweep** — the hashed join with dict rows
+  (``slot_rows=False``, "before") vs. slot-indexed rows ("after") on
+  growing wide-row selective planes; identical output required at
+  every size and ≥2x throughput at the largest plane (full runs);
+* **multi-feed block sweep** — a heap-driven
+  :class:`~repro.execution.lazy.MultiFeedCursor` over growing block
+  counts (up to 1000 in full runs): a small demand must touch only a
+  bounded prefix of blocks, fetch no more pages or tuples than eager
+  materialization at every point, and stay bit-identical to the eager
+  feed-order concatenation;
+* **parallel worker sweep** — the multithreading plan (serial chain,
+  Plan S) on a :class:`~repro.execution.parallel.ParallelExecutor`
+  over a registry of *sleeping* service proxies, for growing worker
+  counts; rows stay bit-identical to the sequential engine and wall
+  time drops as workers grow (ordering asserted on full runs only).
 """
 
 from __future__ import annotations
@@ -26,11 +41,26 @@ import pytest
 from _bench_env import QUICK, bench_out_name, bench_scale
 
 from repro.costs.time_cost import ExecutionTimeMetric
+from repro.execution.engine import ExecutionEngine, ExecutionMode
 from repro.execution.joins import execute_join, execute_join_hashed
+from repro.execution.lazy import (
+    LazyServiceCursor,
+    ListPageSource,
+    MultiFeedCursor,
+)
+from repro.execution.parallel import ParallelExecutor
 from repro.execution.results import Row
-from repro.model.terms import Variable
+from repro.model.predicates import BinaryExpression, Comparison
+from repro.model.terms import Constant, Variable
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.plans.builder import PlanBuilder
 from repro.services.registry import JoinMethod
+from repro.sources.travel import (
+    alpha1_patterns,
+    poset_serial,
+    running_example_query,
+    travel_registry,
+)
 
 pytestmark = pytest.mark.bench
 
@@ -40,6 +70,23 @@ WORKLOAD_RUNS = 3
 
 JOIN_SIDE = bench_scale(400, 80)
 JOIN_KEYS = 40
+
+#: Slot-row plane sweep: wide rows (6 payload variables a side) and a
+#: selective residual predicate — the shape where per-candidate dict
+#: merges dominate and slot-indexed tuples pay off.
+PLANE_SIDES = (60, 120) if QUICK else (200, 400, 800)
+PLANE_KEYS = 10
+PLANE_WIDTH = 6
+
+#: Multi-feed block sweep (heap-driven MultiFeedCursor).
+BLOCK_COUNTS = (40, 120) if QUICK else (100, 400, 1000)
+BLOCK_CHUNK = 2
+BLOCK_ROWS = 3
+BLOCK_DEMAND = 10
+
+#: Parallel worker sweep: real seconds slept per virtual latency unit.
+WORKER_COUNTS = (1, 2, 4)
+SLEEP_SCALE = 0.0005 if QUICK else 0.002
 
 
 def _optimizer_workload(registry, query, memoize: bool) -> dict:
@@ -94,6 +141,203 @@ def _join_throughput(join, method, left, right) -> dict:
     }
 
 
+def _row_signature(rows):
+    return [(dict(r.bindings), r.ranks) for r in rows]
+
+
+# -- slot-row plane sweep ------------------------------------------------
+
+
+def _plane_inputs(side: int) -> tuple[list[Row], list[Row], Comparison]:
+    key = Variable("K")
+    left_vars = [Variable(f"L{i}") for i in range(PLANE_WIDTH)]
+    right_vars = [Variable(f"R{i}") for i in range(PLANE_WIDTH)]
+    left = [
+        Row(
+            bindings={key: i % PLANE_KEYS,
+                      **{v: i + n for n, v in enumerate(left_vars)}},
+            ranks=(("L", i % 13),),
+        )
+        for i in range(side)
+    ]
+    right = [
+        Row(
+            bindings={key: (j * 7) % PLANE_KEYS,
+                      **{v: j + n for n, v in enumerate(right_vars)}},
+            ranks=(("R", j % 11),),
+        )
+        for j in range(side)
+    ]
+    predicate = Comparison(
+        BinaryExpression("+", left_vars[0], right_vars[0]), "<", Constant(12)
+    )
+    return left, right, predicate
+
+
+def _slot_plane_point(side: int) -> dict:
+    left, right, predicate = _plane_inputs(side)
+    cells = side * side
+    point: dict = {"side": side, "plane_cells": cells}
+    signatures = {}
+    for label, slot_rows in (("before", False), ("after", True)):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            rows = execute_join_hashed(
+                JoinMethod.MERGE_SCAN, left, right, (predicate,),
+                slot_rows=slot_rows,
+            )
+            best = min(best, time.perf_counter() - start)
+        signatures[label] = _row_signature(rows)
+        point[label] = {
+            "rows_out": len(rows),
+            "elapsed_s": round(best, 6),
+            "tuples_per_s": round(cells / best, 1),
+        }
+    # Bit-identity between the dict oracle and the slot path, always.
+    assert signatures["after"] == signatures["before"]
+    point["speedup"] = round(
+        point["before"]["elapsed_s"] / point["after"]["elapsed_s"], 2
+    )
+    return point
+
+
+# -- multi-feed block sweep ----------------------------------------------
+
+
+def _block_cursor(count: int) -> tuple[MultiFeedCursor, list[Row], int]:
+    """A cursor over *count* blocks with rising base ranks, plus the
+    eager feed-order concatenation and its page-fetch total."""
+    key, value = Variable("K"), Variable("V")
+    cursors: list[LazyServiceCursor] = []
+    eager: list[Row] = []
+    eager_pages = 0
+    for block in range(count):
+        base = block
+        ranks = [base + offset for offset in range(BLOCK_ROWS)]
+        rows = [
+            Row(
+                bindings={key: 0, value: (block, index)},
+                ranks=((f"feed{block}", base), ("svc", rank)),
+            )
+            for index, rank in enumerate(ranks)
+        ]
+        eager.extend(rows)
+        pages = [
+            rows[i : i + BLOCK_CHUNK] for i in range(0, len(rows), BLOCK_CHUNK)
+        ] or [[]]
+        eager_pages += len(pages)
+        floors: list[int] = []
+        seen = 0
+        for page in pages:
+            seen += len(page)
+            floors.append(ranks[seen] if seen < len(ranks) else 10**9)
+        cursors.append(
+            LazyServiceCursor(
+                ListPageSource(pages=pages, rank_floors=floors), base_rank=base
+            )
+        )
+    return MultiFeedCursor(cursors), eager, eager_pages
+
+
+def _block_sweep_point(count: int) -> dict:
+    cursor, eager, eager_pages = _block_cursor(count)
+    start = time.perf_counter()
+    cursor.ensure(BLOCK_DEMAND)
+    elapsed = time.perf_counter() - start
+    lazy_pages = sum(b.pages_fetched for b in cursor._blocks)
+    # Laziness bounds, asserted at every point (quick runs included):
+    # the demand-driven pulls never exceed the eager universe.
+    assert lazy_pages <= eager_pages
+    assert cursor.tuples_fetched <= len(eager)
+    # ... and the placed prefix is bit-identical to eager order.
+    assert _row_signature(cursor.rows) == _row_signature(
+        eager[: len(cursor.rows)]
+    )
+    point = {
+        "blocks": count,
+        "demand": BLOCK_DEMAND,
+        "ensure_elapsed_s": round(elapsed, 6),
+        "pages_fetched": lazy_pages,
+        "eager_pages": eager_pages,
+        "tuples_fetched": cursor.tuples_fetched,
+        "eager_tuples": len(eager),
+        "blocks_untouched": cursor.blocks_untouched,
+    }
+    cursor.ensure_all()
+    assert _row_signature(cursor.rows) == _row_signature(eager)
+    return point
+
+
+# -- parallel worker sweep -----------------------------------------------
+
+
+class _SleepingService:
+    """Delegating proxy that really sleeps for each invocation.
+
+    The travel services only *report* latencies (the engine advances a
+    virtual clock); the worker sweep needs physical time for threads to
+    overlap, so each call sleeps its reported latency scaled down to
+    bench-friendly real seconds.
+    """
+
+    def __init__(self, inner, scale: float) -> None:
+        self._inner = inner
+        self._scale = scale
+
+    def invoke(self, pattern, inputs, page=0):
+        result = self._inner.invoke(pattern, inputs, page)
+        time.sleep(result.latency * self._scale)
+        return result
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _sleeping_registry(scale: float):
+    registry = travel_registry()
+    for name in registry.names:
+        registry._services[name] = _SleepingService(
+            registry._services[name], scale
+        )
+    return registry
+
+
+def _worker_sweep() -> dict:
+    query = running_example_query()
+    plan = PlanBuilder(query, travel_registry()).build(
+        alpha1_patterns(), poset_serial()
+    )
+    oracle = ExecutionEngine(
+        travel_registry(), mode=ExecutionMode.PARALLEL
+    ).execute(plan, query.head)
+    oracle_signature = _row_signature(oracle.rows)
+    points = []
+    for workers in WORKER_COUNTS:
+        result = ParallelExecutor(
+            _sleeping_registry(SLEEP_SCALE), workers=workers
+        ).execute(plan, query.head)
+        # Bit-identical to sequential execution at every worker count.
+        assert _row_signature(result.rows) == oracle_signature
+        assert result.stats.total_calls == oracle.stats.total_calls
+        points.append(
+            {
+                "workers": workers,
+                "wall_time_s": round(result.stats.wall_time, 6),
+                "virtual_elapsed_s": round(result.stats.elapsed, 3),
+                "service_calls": result.stats.total_calls,
+            }
+        )
+    if not QUICK:
+        # Parallel branch execution beats serial on the serial chain.
+        assert points[-1]["wall_time_s"] < points[0]["wall_time_s"]
+    return {
+        "plan": "serial chain (Plan S), multithreading experiment",
+        "sleep_scale": SLEEP_SCALE,
+        "points": points,
+    }
+
+
 class TestHotpathTrajectory:
     def test_write_bench_hotpaths(self, registry, travel_query, out_dir):
         before_opt = _optimizer_workload(registry, travel_query, memoize=False)
@@ -110,6 +354,14 @@ class TestHotpathTrajectory:
             assert after_join["rows_out"] == before_join["rows_out"]
             joins[method.value] = {"before": before_join, "after": after_join}
 
+        plane_points = [_slot_plane_point(side) for side in PLANE_SIDES]
+        if not QUICK:
+            # Acceptance: >= 2x join throughput from slot-indexed rows
+            # on the largest wide-row selective plane.
+            assert plane_points[-1]["speedup"] >= 2.0
+
+        block_points = [_block_sweep_point(count) for count in BLOCK_COUNTS]
+
         payload = {
             "bench": "hotpaths",
             "quick": QUICK,
@@ -117,9 +369,17 @@ class TestHotpathTrajectory:
                 "optimizer": "Figure 7 plan space (running example), "
                 f"{WORKLOAD_RUNS} repeated optimizations",
                 "join": f"{JOIN_SIDE}x{JOIN_SIDE} plane, {JOIN_KEYS} join keys",
+                "slot_plane": f"wide-row selective planes {PLANE_SIDES}, "
+                f"{PLANE_KEYS} keys, {PLANE_WIDTH} payload vars/side",
+                "multi_feed": f"block counts {BLOCK_COUNTS}, "
+                f"{BLOCK_ROWS} rows/block, chunk {BLOCK_CHUNK}, "
+                f"demand {BLOCK_DEMAND}",
             },
             "optimizer_states_per_s": {"before": before_opt, "after": after_opt},
             "join_tuples_per_s": joins,
+            "slot_join_plane_sweep": plane_points,
+            "multi_feed_block_sweep": block_points,
+            "parallel_worker_sweep": _worker_sweep(),
         }
         (out_dir / bench_out_name("BENCH_hotpaths.json")).write_text(
             json.dumps(payload, indent=2) + "\n"

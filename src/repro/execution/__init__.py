@@ -6,6 +6,7 @@ from repro.execution.cache import (
     NoCache,
     OneCallCache,
     OptimalCache,
+    ThreadSafeCache,
     make_cache,
 )
 from repro.execution.engine import (
@@ -33,8 +34,17 @@ from repro.execution.lazy import (
     MultiFeedCursor,
     RowCursor,
 )
+from repro.execution.parallel import ParallelExecutor
 from repro.execution.progressive import ProgressiveExecutor, ProgressiveRound
 from repro.execution.results import ResultTable, Row, compose_ranking
+from repro.execution.slots import (
+    SlotJoinPlan,
+    SlotLayout,
+    compile_comparison,
+    compile_expression,
+    compile_predicates,
+    layout_for_rows,
+)
 from repro.execution.stats import ExecutionStats, ServiceCallStats
 
 __all__ = [
@@ -54,12 +64,19 @@ __all__ = [
     "NoCache",
     "OneCallCache",
     "OptimalCache",
+    "ParallelExecutor",
     "ProgressiveExecutor",
     "RowCursor",
     "ProgressiveRound",
     "ResultTable",
     "Row",
     "ServiceCallStats",
+    "SlotJoinPlan",
+    "SlotLayout",
+    "ThreadSafeCache",
+    "compile_comparison",
+    "compile_expression",
+    "compile_predicates",
     "compose_ranking",
     "execute_join",
     "execute_join_hashed",
@@ -67,6 +84,7 @@ __all__ = [
     "execute_plan",
     "is_order_rank_consistent",
     "join_order",
+    "layout_for_rows",
     "make_cache",
     "merge_scan_order",
     "nested_loop_order",

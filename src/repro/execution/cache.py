@@ -30,6 +30,7 @@ any capacity — the regression suite pins this.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from enum import Enum
@@ -162,6 +163,59 @@ class OptimalCache(LogicalCache):
 
     def clear(self) -> None:
         self._memo.clear()
+
+
+class ThreadSafeCache(LogicalCache):
+    """Lock-guarded view over another :class:`LogicalCache`.
+
+    Wraps every ``lookup``/``store``/``clear`` in one re-entrant lock,
+    making the inner cache's bookkeeping (LRU reordering, eviction
+    counters, one-call key swaps) safe under concurrent access by a
+    :class:`~repro.execution.parallel.ParallelExecutor`'s workers.
+
+    Guarding individual operations is not enough for *call counting*:
+    two workers resolving the same input setting concurrently would
+    both miss, both invoke the remote service, and double-count the
+    call.  :meth:`key_lock` hands out one mutex per ``(service,
+    input_key)`` — a worker holds it across its whole lookup → invoke →
+    store page loop, so each distinct input setting is resolved by
+    exactly one worker at a time and call/hit counts match sequential
+    execution.
+    """
+
+    def __init__(self, inner: LogicalCache) -> None:
+        self._inner = inner
+        self._lock = threading.RLock()
+        self._key_locks: dict[tuple[str, InputKey], threading.Lock] = {}
+
+    @property
+    def inner(self) -> LogicalCache:
+        """The wrapped cache (for capacity/eviction introspection)."""
+        return self._inner
+
+    def lookup(self, service: str, input_key: InputKey, page: int) -> object | None:
+        with self._lock:
+            return self._inner.lookup(service, input_key, page)
+
+    def store(
+        self, service: str, input_key: InputKey, page: int, value: object
+    ) -> None:
+        with self._lock:
+            self._inner.store(service, input_key, page, value)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._inner.clear()
+            self._key_locks.clear()
+
+    def key_lock(self, service: str, input_key: InputKey) -> threading.Lock:
+        """The single-flight mutex for one input parameter setting."""
+        with self._lock:
+            key = (service, input_key)
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.Lock()
+            return lock
 
 
 def make_cache(

@@ -62,6 +62,7 @@ from repro.execution.cache import CacheSetting, LogicalCache, make_cache
 from repro.execution.joins import JoinStream, execute_join_hashed
 from repro.execution.lazy import FetchedPage, LazyServiceCursor, MultiFeedCursor
 from repro.execution.results import ResultTable, Row, compose_ranking
+from repro.execution.slots import SlotLayout, compile_predicates, layout_for_rows
 from repro.execution.stats import ExecutionStats
 from repro.model.terms import Constant, Variable
 from repro.plans.dag import QueryPlan
@@ -169,6 +170,7 @@ class ExecutionEngine:
         thread_overhead: float = 0.05,
         shuffle_seed: int = 17,
         lazy_streaming: bool = True,
+        slot_rows: bool = True,
     ) -> None:
         self._registry = registry
         self._cache_setting = cache_setting
@@ -181,6 +183,10 @@ class ExecutionEngine:
         #: remote fetches) — the baseline the lazy bench measures
         #: against.
         self._lazy_streaming = lazy_streaming
+        #: Slot-indexed inner loops (``repro.execution.slots``); False
+        #: forces the dict-row oracle everywhere — the "before" side of
+        #: the hotpaths bench and the differential tests.
+        self._slot_rows = slot_rows
 
     def execute(
         self,
@@ -335,20 +341,45 @@ class ExecutionEngine:
         # position-sorted spec replaces a sort per incoming tuple.
         input_spec, output_terms = self._node_layout(node)
         pattern_code = node.pattern.code
+        # Slot fast path (``repro.execution.slots``): the feed is
+        # encoded once (after the MULTITHREADED shuffle, so fetch order
+        # is untouched) and the per-tuple binding/predicate work runs
+        # over value tuples; any misfit — heterogeneous feed, an input
+        # variable the feed does not bind, an uncompilable predicate —
+        # falls back wholesale to the dict loop below, which raises the
+        # documented errors itself.
+        slot = (
+            self._service_slot_state(node, input_spec, output_terms, feed)
+            if self._slot_rows
+            else None
+        )
+        arity = len(output_terms)
+        node_id = node.node_id
         latencies: list[float] = []
         produced: list[Row] = []
-        for row in feed:
-            bindings = row.bindings
-            inputs: dict[int, object] = {}
-            for position, constant_value, term in input_spec:
-                if term is None:
-                    inputs[position] = constant_value
-                else:
-                    if term not in bindings:
-                        raise ExecutionError(
-                            f"unbound input variable {term} at {node.label}"
-                        )
-                    inputs[position] = bindings[term]
+        for row_index, row in enumerate(feed):
+            if slot is not None:
+                feed_values = slot.feed_values[row_index]
+                inputs = {
+                    position: (
+                        constant_value
+                        if slot_index is None
+                        else feed_values[slot_index]
+                    )
+                    for position, constant_value, slot_index in slot.input_spec
+                }
+            else:
+                bindings = row.bindings
+                inputs = {}
+                for position, constant_value, term in input_spec:
+                    if term is None:
+                        inputs[position] = constant_value
+                    else:
+                        if term not in bindings:
+                            raise ExecutionError(
+                                f"unbound input variable {term} at {node.label}"
+                            )
+                        inputs[position] = bindings[term]
             input_key = (pattern_code, tuple(inputs.items()))
             pages: list = []
             issued_remote = False
@@ -373,6 +404,35 @@ class ExecutionEngine:
                 service_stats.calls += 1
             else:
                 service_stats.cache_hits += 1
+            if slot is not None:
+                bind = slot.bind
+                predicates = slot.predicates
+                merged_variables = slot.variables
+                row_ranks = row.ranks
+                for result in pages:
+                    ranks = result.ranks or (None,) * len(result.tuples)
+                    for values, rank in zip(result.tuples, ranks):
+                        if len(values) < arity:
+                            raise ExecutionError(
+                                f"service returned a tuple of arity "
+                                f"{len(values)}, expected {arity}"
+                            )
+                        merged = bind(feed_values, values)
+                        if merged is None:
+                            continue
+                        if not all(holds(merged) for holds in predicates):
+                            continue
+                        produced.append(
+                            Row(
+                                bindings=dict(zip(merged_variables, merged)),
+                                ranks=(
+                                    row_ranks
+                                    if rank is None
+                                    else row_ranks + ((node_id, rank),)
+                                ),
+                            )
+                        )
+                continue
             for result in pages:
                 ranks = result.ranks or (None,) * len(result.tuples)
                 for values, rank in zip(result.tuples, ranks):
@@ -408,6 +468,62 @@ class ExecutionEngine:
             node.atom.term_at(position) for position in range(node.atom.arity)
         ]
         return input_spec, output_terms
+
+    def _service_slot_state(
+        self,
+        node: ServiceNode,
+        input_spec: list[tuple[int, object, Variable | None]],
+        output_terms: list,
+        feed: Sequence[Row],
+    ) -> "_ServiceSlotState | None":
+        """Compiled slot state for *node* over *feed*; None on fallback.
+
+        Encodes the feed rows against the feed's layout, resolves the
+        input spec's variables to feed slots, compiles the output terms
+        into :meth:`_bind_outputs`-equivalent slot operations, and
+        compiles the node predicates against the merged layout (feed
+        variables followed by fresh output variables in first-occurrence
+        order — exactly the binding order ``_bind_outputs`` produces).
+        """
+        layout = layout_for_rows(feed)
+        if layout is None:
+            return None
+        feed_values = layout.encode_rows(feed)
+        if feed_values is None:
+            return None
+        slot_spec: list[tuple[int, object, int | None]] = []
+        for position, constant_value, term in input_spec:
+            if term is None:
+                slot_spec.append((position, constant_value, None))
+            else:
+                slot_index = layout.index.get(term)
+                if slot_index is None:
+                    return None  # dict path raises the documented error
+                slot_spec.append((position, None, slot_index))
+        bind_ops: list[tuple[int, object]] = []
+        fresh_variables: list[Variable] = []
+        fresh_index: dict[Variable, int] = {}
+        for term in output_terms:
+            if isinstance(term, Constant):
+                bind_ops.append((_ServiceSlotState.CONST, term.value))
+            elif term in fresh_index:
+                bind_ops.append((_ServiceSlotState.DUP, fresh_index[term]))
+            elif term in layout.index:
+                bind_ops.append((_ServiceSlotState.CHECK, layout.index[term]))
+            else:
+                bind_ops.append(
+                    (_ServiceSlotState.FRESH, len(fresh_variables))
+                )
+                fresh_index[term] = len(fresh_variables)
+                fresh_variables.append(term)
+        merged_layout = SlotLayout(layout.variables + tuple(fresh_variables))
+        predicates = compile_predicates(node.predicates, merged_layout)
+        if predicates is None:
+            return None
+        return _ServiceSlotState(
+            feed_values, slot_spec, bind_ops, merged_layout.variables,
+            predicates,
+        )
 
     @staticmethod
     def _bind_outputs(row: Row, values: tuple, terms: list) -> Row | None:
@@ -452,7 +568,10 @@ class ExecutionEngine:
         outputs: dict[str, list[Row]],
     ) -> list[Row]:
         left, right = self._join_inputs(plan, node, outputs)
-        return execute_join_hashed(node.method, left, right, node.predicates)
+        return execute_join_hashed(
+            node.method, left, right, node.predicates,
+            slot_rows=self._slot_rows,
+        )
 
     def _open_join_stream(
         self,
@@ -481,6 +600,7 @@ class ExecutionEngine:
             right,
             node.predicates,
             residual_predicates=plan.output_node.residual_predicates,
+            slot_rows=self._slot_rows,
         )
 
     @staticmethod
@@ -613,6 +733,54 @@ class ExecutionEngine:
             )
             finish[node.node_id] = start + busy[node.node_id]
         return finish[plan.output_node.node_id]
+
+
+class _ServiceSlotState:
+    """Compiled slot-path state of one service node (see ``slots``).
+
+    ``bind_ops`` is the output-term binding program, one operation per
+    term position (applied in term order, like ``_bind_outputs``'s
+    ``zip``): ``CONST`` rejects tuples whose value differs from the
+    constant (selection), ``CHECK`` rejects on disagreement with the
+    feed slot (the equi-join on the pipe), ``FRESH`` appends the first
+    occurrence of a new variable, ``DUP`` rejects repeated occurrences
+    that fail to unify.  The merged value tuple is the feed tuple plus
+    the fresh values, aligned with ``variables``.
+    """
+
+    CONST, CHECK, FRESH, DUP = range(4)
+
+    __slots__ = ("feed_values", "input_spec", "bind_ops", "variables", "predicates")
+
+    def __init__(
+        self,
+        feed_values: list[tuple],
+        input_spec: list[tuple[int, object, int | None]],
+        bind_ops: list[tuple[int, object]],
+        variables: tuple[Variable, ...],
+        predicates: list,
+    ) -> None:
+        self.feed_values = feed_values
+        self.input_spec = input_spec
+        self.bind_ops = bind_ops
+        self.variables = variables
+        self.predicates = predicates
+
+    def bind(self, feed_values: tuple, values: tuple) -> tuple | None:
+        """Merged value tuple for one service result; None on mismatch."""
+        fresh: list = []
+        for (op, aux), value in zip(self.bind_ops, values):
+            if op == 2:  # FRESH
+                fresh.append(value)
+            elif op == 1:  # CHECK
+                if feed_values[aux] != value:
+                    return None
+            elif op == 0:  # CONST
+                if value != aux:
+                    return None
+            elif fresh[aux] != value:  # DUP
+                return None
+        return feed_values + tuple(fresh)
 
 
 class _LazyServicePageSource:

@@ -42,6 +42,12 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.execution.lazy import MaterializedCursor, RowCursor
 from repro.execution.results import Row
+from repro.execution.slots import (
+    SlotJoinPlan,
+    SlotLayout,
+    compile_predicates,
+    layout_for_rows,
+)
 from repro.model.predicates import Comparison
 from repro.model.terms import Variable
 from repro.services.registry import JoinMethod
@@ -197,6 +203,7 @@ def execute_join_hashed(
     left: Sequence[Row],
     right: Sequence[Row],
     predicates: Sequence[Comparison] = (),
+    slot_rows: bool = True,
 ) -> list[Row]:
     """Hash-accelerated :func:`execute_join` with identical results.
 
@@ -210,6 +217,14 @@ def execute_join_hashed(
     which preserves the documented domination property across buckets,
     not just inside each one.
 
+    ``slot_rows`` enables the slot-indexed fast path
+    (:mod:`repro.execution.slots`): when both sides are homogeneous and
+    every predicate compiles against the merged layout, bucketing and
+    the surviving-cell loop run on fixed-width value tuples instead of
+    per-row dict merges — results identical, a representation change
+    only.  ``False`` forces the dict-row loop (the bench's "before"
+    ablation and the differential suite's oracle).
+
     Falls back to the reference scan when no variable is shared by all
     rows of both sides, or when a binding value is unhashable.  The
     reference :func:`execute_join` is kept unchanged as the oracle for
@@ -217,6 +232,10 @@ def execute_join_hashed(
     """
     if not left or not right:
         return []
+    if slot_rows:
+        output = _hashed_join_slot_path(method, left, right, predicates)
+        if output is not None:
+            return output
     key_variables = _shared_key_variables(left, right)
     if not key_variables:
         return execute_join(method, left, right, predicates)
@@ -235,7 +254,7 @@ def execute_join_hashed(
         return execute_join(method, left, right, predicates)
     if method is not JoinMethod.NESTED_LOOP:
         cells.sort(key=lambda cell: (cell[0] + cell[1], cell[0]))
-    output: list[Row] = []
+    output = []
     for i, j in cells:
         merged = left[i].merged_with(right[j])
         if merged is None:
@@ -243,6 +262,109 @@ def execute_join_hashed(
         if all(p.holds(merged.bindings) for p in predicates):
             output.append(merged)
     return output
+
+
+def _hashed_join_slot_path(
+    method: JoinMethod,
+    left: Sequence[Row],
+    right: Sequence[Row],
+    predicates: Sequence[Comparison],
+) -> list[Row] | None:
+    """Slot-indexed hashed join; None sends the caller to the dict path.
+
+    Requires homogeneous sides (every row binds its side's layout) and
+    predicates that compile against the merged layout.  Key variables
+    are the two layouts' intersection sorted by name — identical to
+    :func:`_shared_key_variables` on homogeneous inputs — so bucket
+    keys, surviving cells, and visit order match the dict path exactly;
+    an empty intersection or an unhashable key defers to the caller,
+    which reproduces the documented full-scan fallback.
+    """
+    left_layout = layout_for_rows(left)
+    right_layout = layout_for_rows(right)
+    if left_layout is None or right_layout is None:
+        return None
+    shared_names = set(left_layout.index) & set(right_layout.index)
+    if not shared_names:
+        return None  # dict path falls back to the reference scan
+    left_values = left_layout.encode_rows(left)
+    right_values = right_layout.encode_rows(right)
+    if left_values is None or right_values is None:
+        return None
+    plan = SlotJoinPlan(left_layout, right_layout)
+    compiled = compile_predicates(predicates, plan.merged)
+    if compiled is None:
+        return None
+    key_variables = sorted(shared_names, key=lambda v: v.name)
+    left_key = [left_layout.index[v] for v in key_variables]
+    right_key = [right_layout.index[v] for v in key_variables]
+    try:
+        right_buckets: dict[tuple, list[int]] = {}
+        for j, values in enumerate(right_values):
+            key = tuple(values[slot] for slot in right_key)
+            right_buckets.setdefault(key, []).append(j)
+        cells: list[tuple[int, int]] = []
+        for i, values in enumerate(left_values):
+            key = tuple(values[slot] for slot in left_key)
+            matches = right_buckets.get(key)
+            if matches:
+                cells.extend((i, j) for j in matches)
+    except TypeError:  # unhashable binding value: cannot bucket
+        return None
+    if method is not JoinMethod.NESTED_LOOP:
+        cells.sort(key=lambda cell: (cell[0] + cell[1], cell[0]))
+    merge = plan.merge
+    merged_variables = plan.merged.variables
+    output: list[Row] = []
+    for i, j in cells:
+        merged = merge(left_values[i], right_values[j])
+        if merged is None:
+            continue
+        if all(holds(merged) for holds in compiled):
+            output.append(
+                Row(
+                    bindings=dict(zip(merged_variables, merged)),
+                    ranks=left[i].ranks + right[j].ranks,
+                )
+            )
+    return output
+
+
+class _StreamSlotState:
+    """Slot-path state of a :class:`JoinStream` (see ``execution.slots``).
+
+    Holds the join plan and compiled predicates plus *mirrors* of the
+    two cursors' fetched rows as encoded value tuples; :meth:`sync`
+    grows the mirrors incrementally as the lazy cursors pull more rows,
+    so each row is encoded exactly once over the stream's lifetime.
+    """
+
+    __slots__ = ("plan", "predicates", "residual", "left_values", "right_values")
+
+    def __init__(
+        self,
+        plan: SlotJoinPlan,
+        predicates: list,
+        residual: list,
+    ) -> None:
+        self.plan = plan
+        self.predicates = predicates
+        self.residual = residual
+        self.left_values: list[tuple] = []
+        self.right_values: list[tuple] = []
+
+    def sync(self, left_rows: Sequence[Row], right_rows: Sequence[Row]) -> bool:
+        """Grow the mirrors to *left_rows*/*right_rows*; False on misfit."""
+        for mirror, layout, rows in (
+            (self.left_values, self.plan.left, left_rows),
+            (self.right_values, self.plan.right, right_rows),
+        ):
+            for row in rows[len(mirror):]:
+                values = layout.encode(row)
+                if values is None:
+                    return False
+                mirror.append(values)
+        return True
 
 
 class JoinStream:
@@ -301,6 +423,7 @@ class JoinStream:
         right: Sequence[Row] | RowCursor,
         predicates: Sequence[Comparison] = (),
         residual_predicates: Sequence[Comparison] = (),
+        slot_rows: bool = True,
     ) -> None:
         self._method = method
         self._left = left if isinstance(left, RowCursor) else MaterializedCursor(left)
@@ -316,6 +439,12 @@ class JoinStream:
         self._candidates: list[tuple[int, int, Row]] = []
         self._join_rows_emitted = 0
         self.cells_visited = 0
+        #: Slot fast path (``repro.execution.slots``): lazily built the
+        #: first time both sides hold a row, and abandoned permanently
+        #: (``_slot_failed``) on heterogeneous rows or uncompilable
+        #: predicates — the dict-row loop below is the behavior oracle.
+        self._slot: _StreamSlotState | None = None
+        self._slot_failed = not slot_rows
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -452,6 +581,29 @@ class JoinStream:
             cells = ((i, stage - i) for i in range(start, stop + 1))
         left_rows, right_rows = left.rows, right.rows
         left_ranks, right_ranks = left.ranks, right.ranks
+        slot = self._slot_state()
+        if slot is not None:
+            left_values, right_values = slot.left_values, slot.right_values
+            merge = slot.plan.merge
+            merged_variables = slot.plan.merged.variables
+            for i, j in cells:
+                self.cells_visited += 1
+                merged = merge(left_values[i], right_values[j])
+                if merged is None:
+                    continue
+                if not all(holds(merged) for holds in slot.predicates):
+                    continue
+                self._join_rows_emitted += 1
+                if not all(holds(merged) for holds in slot.residual):
+                    continue
+                rank = left_ranks[i] + right_ranks[j]
+                row = Row(
+                    bindings=dict(zip(merged_variables, merged)),
+                    ranks=left_rows[i].ranks + right_rows[j].ranks,
+                )
+                self._candidates.append((rank, len(self._candidates), row))
+            self._stage += 1
+            return
         for i, j in cells:
             self.cells_visited += 1
             merged = left_rows[i].merged_with(right_rows[j])
@@ -465,6 +617,40 @@ class JoinStream:
             rank = left_ranks[i] + right_ranks[j]
             self._candidates.append((rank, len(self._candidates), merged))
         self._stage += 1
+
+    def _slot_state(self) -> "_StreamSlotState | None":
+        """The live slot state, building or syncing it; None on fallback.
+
+        Built the first time both sides hold a row (layouts come from
+        the first rows); on every stage the encoded-value mirrors are
+        grown to match the cursors' fetched rows.  Any failure — a row
+        that does not fit its side's layout, a predicate mentioning a
+        variable outside the merged layout — abandons the slot path for
+        the stream's remaining lifetime, so the dict loop (which raises
+        the documented errors itself) takes over mid-walk without
+        revisiting any cell.
+        """
+        if self._slot_failed:
+            return None
+        slot = self._slot
+        if slot is None:
+            left_rows, right_rows = self._left.rows, self._right.rows
+            if not left_rows or not right_rows:
+                return None  # nothing to visit yet; retry next stage
+            left_layout = layout_for_rows(left_rows)
+            right_layout = layout_for_rows(right_rows)
+            plan = SlotJoinPlan(left_layout, right_layout)
+            predicates = compile_predicates(self._predicates, plan.merged)
+            residual = compile_predicates(self._residual, plan.merged)
+            if predicates is None or residual is None:
+                self._slot_failed = True
+                return None
+            slot = self._slot = _StreamSlotState(plan, predicates, residual)
+        if not slot.sync(self._left.rows, self._right.rows):
+            self._slot_failed = True
+            self._slot = None
+            return None
+        return slot
 
     def _remaining_lower_bound(self) -> float:
         """Lower bound on the composed rank of every unvisited cell.

@@ -89,6 +89,7 @@ bit-identical (rows, ranks, emission order) to the full-scan oracle.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence
@@ -419,6 +420,26 @@ class MultiFeedCursor(RowCursor):
     subset of the eager universe, so page pulls never exceed eager
     materialization's (see the module docstring for the one-call-cache
     caveat on *remote* fetch counts).
+
+    **Heaps** (O(log B) per pull instead of O(B) scans): block
+    selection and the unplaced bound are served by two lazy-deletion
+    heaps.  ``_floor_heap`` holds ``(floor, index)`` entries; floors
+    only ever rise (a block's floor changes only through its own
+    pulls), so a popped entry is validated against the block's current
+    floor and re-keyed when stale — ties break toward the earliest
+    feed index exactly as the linear scan did, because stale entries
+    always carry a *lower* floor and therefore surface (and are
+    corrected) before any entry they could unfairly displace.
+    ``_bound_heap`` holds ``(candidate, index)`` entries with
+    ``candidate = block.suffix_min(placed)``; the invariant is that
+    every block at or after the front with a finite candidate has an
+    entry **no larger than** its true candidate, which holds because
+    candidates rise under placement advances and floor raises, and the
+    one event that can lower them — a non-monotone pull draining a
+    block into exact suffix minima below its old floor — is followed
+    by pushing a fresh exact entry in :meth:`_pull_block`.  Popped
+    entries are validated by recomputation and re-keyed; a root entry
+    that validates exactly is the true minimum.
     """
 
     def __init__(self, blocks: Sequence[LazyServiceCursor]) -> None:
@@ -430,7 +451,24 @@ class MultiFeedCursor(RowCursor):
         self._placed = [0] * len(self._blocks)
         self._front = 0
         self._bound_cache: float | None = None
+        #: Running cost counters (updated at pull time, never recomputed).
+        self._tuples_fetched = sum(b.tuples_fetched for b in self._blocks)
+        self._pages_saved = sum(b.pages_saved() for b in self._blocks)
+        self._untouched = sum(
+            1 for b in self._blocks if b.pages_fetched == 0
+        )
         self._advance_placement()
+        self._floor_heap: list[tuple[float, int]] = []
+        self._bound_heap: list[tuple[float, int]] = []
+        for index in range(self._front, len(self._blocks)):
+            block = self._blocks[index]
+            if not block.exhausted:
+                self._floor_heap.append((block.floor, index))
+            candidate = block.suffix_min(self._placed[index])
+            if candidate < math.inf:
+                self._bound_heap.append((candidate, index))
+        heapq.heapify(self._floor_heap)
+        heapq.heapify(self._bound_heap)
 
     @property
     def exhausted(self) -> bool:
@@ -444,12 +482,12 @@ class MultiFeedCursor(RowCursor):
     @property
     def blocks_untouched(self) -> int:
         """Blocks that never issued a single page fetch."""
-        return sum(1 for block in self._blocks if block.pages_fetched == 0)
+        return self._untouched
 
     @property
     def tuples_fetched(self) -> int:
         """Raw service tuples pulled across all blocks."""
-        return sum(block.tuples_fetched for block in self._blocks)
+        return self._tuples_fetched
 
     @property
     def latencies(self) -> list[float]:
@@ -460,7 +498,7 @@ class MultiFeedCursor(RowCursor):
 
     def pages_saved(self) -> int:
         """Budgeted page fetches never issued, summed over blocks."""
-        return sum(block.pages_saved() for block in self._blocks)
+        return self._pages_saved
 
     def ensure(self, count: int) -> None:
         while len(self.rows) < count and not self.exhausted:
@@ -468,7 +506,20 @@ class MultiFeedCursor(RowCursor):
 
     def ensure_all(self) -> None:
         for block in self._blocks:
+            if block.exhausted:
+                continue
+            tuples_before = block.tuples_fetched
+            saved_before = block.pages_saved()
+            untouched = block.pages_fetched == 0
             block.ensure_all()
+            self._tuples_fetched += block.tuples_fetched - tuples_before
+            self._pages_saved += block.pages_saved() - saved_before
+            if untouched and block.pages_fetched:
+                self._untouched -= 1
+        # Every block is exhausted: nothing is left to pull and once
+        # placement catches up the unplaced bound is +inf for good.
+        self._floor_heap.clear()
+        self._bound_heap.clear()
         self._bound_cache = None
         self._advance_placement()
 
@@ -497,29 +548,75 @@ class MultiFeedCursor(RowCursor):
         by the owning block's floor — both of which
         ``block.suffix_min(placed)`` provides (for the front block all
         fetched rows are placed, so only its floor contributes).
+
+        Served by ``_bound_heap`` with validation on pop: entries are
+        lower bounds of their blocks' true candidates (see the class
+        docstring for why), so a root whose recomputed candidate equals
+        its key is the exact minimum; stale roots are re-keyed in place
+        and infinite/behind-the-front ones discarded.
         """
-        bound = math.inf
-        for index in range(self._front, len(self._blocks)):
-            candidate = self._blocks[index].suffix_min(self._placed[index])
-            if candidate < bound:
-                bound = candidate
-        return bound
+        heap = self._bound_heap
+        while heap:
+            candidate, index = heap[0]
+            if index < self._front:
+                heapq.heappop(heap)
+                continue
+            actual = self._blocks[index].suffix_min(self._placed[index])
+            if actual == candidate:
+                return candidate
+            if actual == math.inf:
+                heapq.heappop(heap)
+                continue
+            heapq.heapreplace(heap, (actual, index))
+        return math.inf
 
     def _pull_lowest_floor(self) -> None:
-        """Fetch one page from the unexhausted block with the lowest floor."""
-        best: LazyServiceCursor | None = None
-        best_floor = math.inf
-        for index in range(self._front, len(self._blocks)):
+        """Fetch one page from the unexhausted block with the lowest floor.
+
+        Served by ``_floor_heap`` with validation on pop: floors only
+        rise, so a popped entry whose floor no longer matches its block
+        is stale and gets re-keyed; exhausted blocks are discarded.
+        Ties surface the earliest feed index first, matching the linear
+        scan this replaces.
+        """
+        heap = self._floor_heap
+        while heap:
+            floor, index = heapq.heappop(heap)
             block = self._blocks[index]
             if block.exhausted:
                 continue
-            if block.floor < best_floor:
-                best, best_floor = block, block.floor
-        if best is None:  # pragma: no cover - guarded by ``exhausted``
+            if block.floor != floor:
+                heapq.heappush(heap, (block.floor, index))
+                continue
+            self._pull_block(index, block)
             return
-        best.pull_page()
+
+    def _pull_block(self, index: int, block: LazyServiceCursor) -> None:
+        """Pull one page from *block*, maintaining counters and heaps.
+
+        A single :meth:`LazyServiceCursor.pull_page` may drain many
+        pages (the non-monotone fallback), so the counters are updated
+        by before/after deltas rather than fixed increments.  The fresh
+        bound entry pushed at the end restores the bound-heap invariant
+        even when the drain *lowered* the block's candidate.
+        """
+        tuples_before = block.tuples_fetched
+        saved_before = block.pages_saved()
+        untouched = block.pages_fetched == 0
+        block.pull_page()
+        self._tuples_fetched += block.tuples_fetched - tuples_before
+        self._pages_saved += block.pages_saved() - saved_before
+        if untouched:
+            self._untouched -= 1
+        if not block.exhausted:
+            heapq.heappush(self._floor_heap, (block.floor, index))
         self._bound_cache = None
         self._advance_placement()
+        if index >= self._front:
+            heapq.heappush(
+                self._bound_heap,
+                (block.suffix_min(self._placed[index]), index),
+            )
 
     def _advance_placement(self) -> None:
         """Place newly placeable rows, advancing the front over drained

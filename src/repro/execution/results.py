@@ -19,9 +19,16 @@ from typing import Mapping, Sequence
 from repro.model.terms import Variable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Row:
-    """One tuple of bindings with ranking provenance."""
+    """One tuple of bindings with ranking provenance.
+
+    ``slots=True`` shrinks the per-row footprint and speeds attribute
+    access — rows are the unit of work of every hot loop, and the
+    engine's high-volume paths additionally carry them as slot-indexed
+    value tuples (see ``repro.execution.slots``) between node
+    boundaries.
+    """
 
     bindings: Mapping[Variable, object]
     ranks: tuple[tuple[str, int], ...] = ()

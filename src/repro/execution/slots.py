@@ -1,0 +1,243 @@
+"""Slot-indexed row representation for the execution hot paths.
+
+The engine's inner loops — the per-cell merge of the join strategies,
+the per-tuple output binding of service nodes — historically worked on
+:class:`~repro.execution.results.Row` bindings, i.e. per-row dicts.
+Every visited candidate cell paid a dict merge (hash lookups, copies)
+even when the cell was immediately discarded, and every predicate
+evaluation re-resolved its variables by hashing.
+
+This module resolves variables to **slot indices once per node** and
+lets the hot loops run on fixed-width value tuples instead:
+
+* :class:`SlotLayout` — an ordered variable set with a variable → slot
+  index; encodes homogeneous rows into value tuples and decodes tuples
+  back into :class:`Row` bindings at the result boundary;
+* :class:`SlotJoinPlan` — the natural-join merge between two layouts,
+  precomputed into shared-slot conflict pairs and right-only slot
+  picks, so a candidate cell costs a few tuple indexings instead of a
+  dict merge;
+* :func:`compile_comparison` / :func:`compile_predicates` — predicates
+  compiled into closures over value tuples, replicating
+  :meth:`~repro.model.predicates.Comparison.holds` exactly (including
+  the :class:`~repro.model.predicates.PredicateError` raised when a
+  comparison hits non-comparable values).
+
+**Equivalence contract.**  Slot execution is a *pure representation
+change*: every consumer (hashed join, join stream, engine service
+nodes) derives the layout from the rows it actually holds and falls
+back to the dict-row path whenever the rows are heterogeneous, a
+binding value is missing, or a predicate mentions a variable outside
+the layout — so results are bit-identical (rows, ranks, emission
+order) to the dict path by construction, which
+``tests/test_slots.py`` checks differentially.  Within the engine all
+node outputs are homogeneous (a node binds the same variable set into
+every row it emits), so the fallback only fires for hand-built
+heterogeneous inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.execution.results import Row
+from repro.model.predicates import (
+    _ARITH,
+    _OPERATORS,
+    BinaryExpression,
+    Comparison,
+    Expression,
+    PredicateError,
+)
+from repro.model.terms import Constant, Variable
+
+#: A compiled expression/predicate evaluates against one value tuple.
+SlotExpression = Callable[[tuple], object]
+SlotPredicate = Callable[[tuple], bool]
+
+
+class SlotLayout:
+    """An ordered variable set with variable → slot index resolution.
+
+    The layout of a node is derived once (from its first row, or from
+    its term structure) and shared by every row the node emits; rows
+    then travel as plain value tuples aligned with ``variables``.
+    """
+
+    __slots__ = ("variables", "index")
+
+    def __init__(self, variables: Sequence[Variable]) -> None:
+        self.variables = tuple(variables)
+        self.index = {v: i for i, v in enumerate(self.variables)}
+
+    @classmethod
+    def for_row(cls, row: Row) -> "SlotLayout":
+        """The layout implied by one row's bindings (insertion order)."""
+        return cls(tuple(row.bindings.keys()))
+
+    def encode(self, row: Row) -> tuple | None:
+        """*row* as a value tuple, or None when it does not fit.
+
+        A row fits only when it binds *exactly* the layout's variables;
+        anything else (extra, missing, different set) signals a
+        heterogeneous input and the caller must fall back to dict rows.
+        """
+        bindings = row.bindings
+        if len(bindings) != len(self.variables):
+            return None
+        try:
+            return tuple(bindings[v] for v in self.variables)
+        except KeyError:
+            return None
+
+    def encode_rows(self, rows: Sequence[Row]) -> list[tuple] | None:
+        """All of *rows* as value tuples, or None when any fails."""
+        encoded: list[tuple] = []
+        for row in rows:
+            values = self.encode(row)
+            if values is None:
+                return None
+            encoded.append(values)
+        return encoded
+
+    def decode(
+        self, values: tuple, ranks: tuple[tuple[str, int], ...] = ()
+    ) -> Row:
+        """A :class:`Row` over this layout (the result boundary)."""
+        return Row(bindings=dict(zip(self.variables, values)), ranks=ranks)
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"<SlotLayout [{names}]>"
+
+
+def layout_for_rows(rows: Sequence[Row]) -> SlotLayout | None:
+    """The shared layout of *rows*, or None when they are heterogeneous.
+
+    Derived from the first row; the check that every row fits happens
+    during :meth:`SlotLayout.encode_rows` (callers encode right after),
+    so this only rejects the trivially-empty case.
+    """
+    if not rows:
+        return None
+    return SlotLayout.for_row(rows[0])
+
+
+class SlotJoinPlan:
+    """Precomputed natural-join merge between two slot layouts.
+
+    ``shared`` holds the ``(left slot, right slot)`` pairs that must
+    agree for the cell to survive (the natural-join condition);
+    ``right_extra`` the right slots appended to the left tuple on a
+    successful merge.  ``merged`` is the output layout: the left
+    variables followed by the right-only variables in right order —
+    the same variable set ``Row.merged_with`` produces.
+    """
+
+    __slots__ = ("left", "right", "shared", "right_extra", "merged")
+
+    def __init__(self, left: SlotLayout, right: SlotLayout) -> None:
+        self.left = left
+        self.right = right
+        shared: list[tuple[int, int]] = []
+        extra: list[int] = []
+        for j, variable in enumerate(right.variables):
+            i = left.index.get(variable)
+            if i is None:
+                extra.append(j)
+            else:
+                shared.append((i, j))
+        self.shared = tuple(shared)
+        self.right_extra = tuple(extra)
+        self.merged = SlotLayout(
+            left.variables + tuple(right.variables[j] for j in extra)
+        )
+
+    def merge(self, left_values: tuple, right_values: tuple) -> tuple | None:
+        """Merged value tuple, or None when shared slots disagree."""
+        for i, j in self.shared:
+            if left_values[i] != right_values[j]:
+                return None
+        if not self.right_extra:
+            return left_values
+        return left_values + tuple(right_values[j] for j in self.right_extra)
+
+
+def compile_expression(
+    expression: Expression, layout: SlotLayout
+) -> SlotExpression | None:
+    """*expression* as a closure over value tuples; None if uncompilable.
+
+    Returns None when the expression mentions a variable outside the
+    layout — the dict path then reproduces the exact unbound-variable
+    :class:`PredicateError` on evaluation.  Arithmetic ``TypeError``s
+    propagate raw, exactly as :func:`~repro.model.predicates.
+    evaluate_expression` lets them.
+    """
+    if isinstance(expression, Constant):
+        value = expression.value
+        return lambda values: value
+    if isinstance(expression, Variable):
+        slot = layout.index.get(expression)
+        if slot is None:
+            return None
+        return lambda values: values[slot]
+    if isinstance(expression, BinaryExpression):
+        left = compile_expression(expression.left, layout)
+        right = compile_expression(expression.right, layout)
+        if left is None or right is None:
+            return None
+        operation = _ARITH[expression.op]
+        return lambda values: operation(left(values), right(values))
+    return None
+
+
+def compile_comparison(
+    predicate: Comparison, layout: SlotLayout
+) -> SlotPredicate | None:
+    """*predicate* as a closure over value tuples; None if uncompilable.
+
+    The closure replicates :meth:`Comparison.holds` bit for bit,
+    including the :class:`PredicateError` message raised when the two
+    operand values cannot be compared.
+    """
+    left = compile_expression(predicate.left, layout)
+    right = compile_expression(predicate.right, layout)
+    if left is None or right is None:
+        return None
+    operation = _OPERATORS[predicate.op]
+    operator_name = predicate.op
+
+    def holds(values: tuple) -> bool:
+        left_value = left(values)
+        right_value = right(values)
+        try:
+            return bool(operation(left_value, right_value))
+        except TypeError as exc:
+            raise PredicateError(
+                f"cannot compare {left_value!r} {operator_name} "
+                f"{right_value!r}: {exc}"
+            ) from exc
+
+    return holds
+
+
+def compile_predicates(
+    predicates: Sequence[Comparison], layout: SlotLayout
+) -> list[SlotPredicate] | None:
+    """Compile all of *predicates*, or None when any is uncompilable.
+
+    All-or-nothing: a single uncompilable predicate sends the caller to
+    the dict path wholesale, so evaluation-order side effects (which
+    predicate raises first) stay identical.
+    """
+    compiled: list[SlotPredicate] = []
+    for predicate in predicates:
+        holds = compile_comparison(predicate, layout)
+        if holds is None:
+            return None
+        compiled.append(holds)
+    return compiled

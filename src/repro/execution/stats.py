@@ -96,6 +96,11 @@ class ExecutionStats:
     #: what lets progressive fetch growth detect data exhaustion
     #: without misreading cache-absorbed rounds as "no more data".
     tuples_processed: int = 0
+    #: Real (wall-clock) seconds spent by a :class:`ParallelExecutor`
+    #: run and the worker count it used; both stay 0 for the virtual
+    #: -time engine, whose ``elapsed`` is model time, not wall time.
+    wall_time: float = 0.0
+    parallel_workers: int = 0
 
     def service(self, name: str) -> ServiceCallStats:
         """The (auto-created) counters for service *name*."""
@@ -149,6 +154,11 @@ class ExecutionStats:
             lines.append(
                 f"  lazy blocks: {self.lazy_blocks}"
                 f" untouched={self.lazy_blocks_untouched}"
+            )
+        if self.parallel_workers:
+            lines.append(
+                f"  parallel: workers={self.parallel_workers}"
+                f" wall={self.wall_time:.2f}s"
             )
         for name in sorted(self.per_service):
             stats = self.per_service[name]

@@ -16,6 +16,7 @@ much faster (the "Bookings.com effect").
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -65,24 +66,37 @@ class LatencyModel:
     ``remote_caching`` reproduces servers that answer repeated
     identical requests quickly; the paper observes this for
     Bookings.com but not for Expedia.
+
+    The check-then-add on ``_seen`` is the one piece of mutable service
+    state a :class:`~repro.execution.parallel.ParallelExecutor` worker
+    races on, so it runs under a per-model lock — inside the model
+    rather than around :meth:`Service.invoke`, because serializing
+    whole invocations would also serialize any real work (e.g. a
+    sleeping bench proxy) and erase the parallel speedup being
+    measured.
     """
 
     response_time: float
     remote_caching: bool = False
     repeat_factor: float = REMOTE_CACHE_FACTOR
-    _seen: set = field(default_factory=set, repr=False)
+    _seen: set = field(default_factory=set, repr=False, compare=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def latency_for(self, key: object) -> tuple[float, bool]:
         """Return ``(latency, was_remote_cache_hit)`` for a call keyed by *key*."""
-        if self.remote_caching and key in self._seen:
-            return self.response_time * self.repeat_factor, True
-        if self.remote_caching:
-            self._seen.add(key)
+        with self._lock:
+            if self.remote_caching and key in self._seen:
+                return self.response_time * self.repeat_factor, True
+            if self.remote_caching:
+                self._seen.add(key)
         return self.response_time, False
 
     def reset(self) -> None:
         """Forget the remote server's cache (e.g. between experiments)."""
-        self._seen.clear()
+        with self._lock:
+            self._seen.clear()
 
 
 class Service(ABC):

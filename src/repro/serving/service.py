@@ -44,6 +44,7 @@ from repro.execution.cache import (
     make_cache,
 )
 from repro.execution.engine import ExecutionMode, ExecutionResult
+from repro.execution.parallel import ParallelExecutor
 from repro.execution.progressive import ProgressiveExecutor, ProgressiveRound
 from repro.model.parser import parse_query
 from repro.model.query import ConjunctiveQuery
@@ -122,6 +123,7 @@ class ServingStats:
     continuations: int = 0
     optimizer_runs: int = 0
     optimizer_annotate_calls: int = 0
+    prefetches: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serializable snapshot."""
@@ -130,6 +132,7 @@ class ServingStats:
             "continuations": self.continuations,
             "optimizer_runs": self.optimizer_runs,
             "optimizer_annotate_calls": self.optimizer_annotate_calls,
+            "prefetches": self.prefetches,
         }
 
 
@@ -187,37 +190,9 @@ class QueryService:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.stats.requests += 1
-        fingerprint = query_fingerprint(query)
-        epoch = self.registry.content_epoch()
-        config = replace(
-            self.optimizer_config or OptimizerConfig(),
-            k=k,
-            cache_setting=self.cache_setting,
+        plan, cost, provenance, fingerprint, epoch, annotate_calls = (
+            self._resolve_plan(query, k)
         )
-        key = plan_cache_key(
-            fingerprint, epoch, self.metric.name, k,
-            self.cache_setting.value, optimizer_config_token(config),
-        )
-        annotate_calls = 0
-        hit = self.plan_cache.lookup(key)
-        if hit is not None:
-            plan = hit.spec.build(query, self.registry)
-            cost = hit.cost
-            provenance = hit.tier
-        else:
-            optimized = Optimizer(self.registry, self.metric, config).optimize(
-                query
-            )
-            plan = optimized.plan
-            cost = optimized.cost
-            provenance = "optimized"
-            annotate_calls = optimized.stats.annotate_calls
-            self.stats.optimizer_runs += 1
-            self.stats.optimizer_annotate_calls += annotate_calls
-            self.plan_cache.store(
-                key, PlanSpec.from_optimized(optimized), cost,
-                self.metric.name, epoch,
-            )
         executor = ProgressiveExecutor(
             registry=self.registry,
             plan=plan,
@@ -262,6 +237,53 @@ class QueryService:
             session.executor.rounds[rounds_before:],
         )
 
+    def prefetch(
+        self, query: ConjunctiveQuery | str, k: int | None = None,
+        workers: int = 4,
+    ) -> dict:
+        """Warm the shared service cache for *query* on real threads.
+
+        Plans the query exactly as :meth:`submit` would (so the plan
+        cache is warmed too) and runs it on a
+        :class:`~repro.execution.parallel.ParallelExecutor` against the
+        shared service cache, without resetting the remote services'
+        own caches — answers of later submits are unaffected (a logical
+        cache only changes how often the remote side is called), they
+        just start from a hot cache.  No session is opened and no rows
+        are returned; the summary dict reports what the warm-up did.
+        Degrades to a no-op-ish dry run when the service was built with
+        ``share_service_cache=False`` (there is no shared state to
+        warm).
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        k = self.k_default if k is None else k
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.stats.prefetches += 1
+        plan, _, provenance, _, _, _ = self._resolve_plan(query, k)
+        executor = ParallelExecutor(
+            self.registry,
+            cache_setting=self.cache_setting,
+            workers=workers,
+        )
+        result = executor.execute(
+            plan,
+            tuple(query.head),
+            k=k,
+            reset_remote_caches=False,
+            shared_cache=self._service_cache,
+        )
+        return {
+            "provenance": provenance,
+            "shared": self._service_cache is not None,
+            "workers": result.stats.parallel_workers,
+            "wall_time_s": round(result.stats.wall_time, 6),
+            "service_calls": result.stats.total_calls,
+            "cache_hits": result.stats.total_cache_hits,
+            "answers_available": len(result.rows),
+        }
+
     def release(self, session_id: str) -> bool:
         """Close a session's continuation state; False when unknown."""
         return self.sessions.release(session_id)
@@ -285,6 +307,48 @@ class QueryService:
         return state
 
     # -- internals -------------------------------------------------------
+
+    def _resolve_plan(
+        self, query: ConjunctiveQuery, k: int
+    ) -> tuple:
+        """Plan *query* through the shared plan cache (optimize on miss).
+
+        Returns ``(plan, cost, provenance, fingerprint, epoch,
+        annotate_calls)`` — the request-independent half of
+        :meth:`submit`, shared with :meth:`prefetch`.
+        """
+        fingerprint = query_fingerprint(query)
+        epoch = self.registry.content_epoch()
+        config = replace(
+            self.optimizer_config or OptimizerConfig(),
+            k=k,
+            cache_setting=self.cache_setting,
+        )
+        key = plan_cache_key(
+            fingerprint, epoch, self.metric.name, k,
+            self.cache_setting.value, optimizer_config_token(config),
+        )
+        annotate_calls = 0
+        hit = self.plan_cache.lookup(key)
+        if hit is not None:
+            plan = hit.spec.build(query, self.registry)
+            cost = hit.cost
+            provenance = hit.tier
+        else:
+            optimized = Optimizer(self.registry, self.metric, config).optimize(
+                query
+            )
+            plan = optimized.plan
+            cost = optimized.cost
+            provenance = "optimized"
+            annotate_calls = optimized.stats.annotate_calls
+            self.stats.optimizer_runs += 1
+            self.stats.optimizer_annotate_calls += annotate_calls
+            self.plan_cache.store(
+                key, PlanSpec.from_optimized(optimized), cost,
+                self.metric.name, epoch,
+            )
+        return plan, cost, provenance, fingerprint, epoch, annotate_calls
 
     def _respond(
         self,

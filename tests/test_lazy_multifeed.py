@@ -414,3 +414,124 @@ class TestSerialPlanEngineDifferential:
         )
         expected = compose_ranking(oracle.rows, 8)
         assert _signature(more.rows) == _signature(expected)
+
+
+# -- heap vs linear-scan differential ---------------------------------------
+
+
+class _LinearScanReference:
+    """The pre-heap O(B)-per-pull selection logic, as a test oracle.
+
+    Recomputes the lowest-floor block and the unplaced bound by full
+    linear scans over a :class:`MultiFeedCursor`'s internals — exactly
+    what the cursor did before the floor/bound heaps replaced the
+    scans.  The differential drives a cursor step by step and checks
+    the heap-served answers against these scans at every step.
+    """
+
+    @staticmethod
+    def lowest_floor_index(cursor: MultiFeedCursor) -> int | None:
+        best_index, best_floor = None, math.inf
+        for index in range(cursor._front, len(cursor._blocks)):
+            block = cursor._blocks[index]
+            if block.exhausted:
+                continue
+            if block.floor < best_floor:
+                best_index, best_floor = index, block.floor
+        return best_index
+
+    @staticmethod
+    def unplaced_bound(cursor: MultiFeedCursor) -> float:
+        bound = math.inf
+        for index in range(cursor._front, len(cursor._blocks)):
+            candidate = cursor._blocks[index].suffix_min(
+                cursor._placed[index]
+            )
+            if candidate < bound:
+                bound = candidate
+        return bound
+
+    @staticmethod
+    def counters(cursor: MultiFeedCursor) -> tuple[int, int, int]:
+        blocks = cursor._blocks
+        return (
+            sum(1 for b in blocks if b.pages_fetched == 0),
+            sum(b.tuples_fetched for b in blocks),
+            sum(b.pages_saved() for b in blocks),
+        )
+
+
+class TestHeapMatchesLinearScan:
+    """The floor/bound heaps vs full recomputation, step by step."""
+
+    @given(_blocks, _chunks, st.lists(st.integers(1, 4), max_size=8))
+    @settings(max_examples=120, deadline=None)
+    def test_stepwise_pulls_match_linear_scans(self, blocks, chunk, demands):
+        cursor, eager = _multi_feed_cursor(blocks, "L", chunk)
+        reference, _ = _multi_feed_cursor(blocks, "L", chunk)
+        for demand in demands:
+            target = len(cursor.rows) + demand
+            while len(cursor.rows) < target and not cursor.exhausted:
+                expected_index = _LinearScanReference.lowest_floor_index(
+                    cursor
+                )
+                expected_pages = [
+                    b.pages_fetched for b in cursor._blocks
+                ]
+                expected_pages[expected_index] += 1
+                cursor._pull_lowest_floor()
+                # the heap pulled exactly the linear scan's block (one
+                # pull may drain extra pages on a monotonicity
+                # violation, always within the selected block)
+                pulled = [
+                    i
+                    for i, b in enumerate(cursor._blocks)
+                    if b.pages_fetched
+                    > expected_pages[i] - (1 if i == expected_index else 0)
+                    and i != expected_index
+                ]
+                assert pulled == []
+                assert (
+                    cursor._blocks[expected_index].pages_fetched
+                    >= expected_pages[expected_index]
+                )
+            reference.ensure(target)
+            # same rows, same per-block fetch state, same certificate
+            assert _signature(cursor.rows) == _signature(reference.rows)
+            assert [b.pages_fetched for b in cursor._blocks] == [
+                b.pages_fetched for b in reference._blocks
+            ]
+            for start in range(len(cursor.rows) + 2):
+                assert cursor.suffix_min(start) == reference.suffix_min(start)
+            assert cursor.suffix_min(len(cursor.rows)) == (
+                _LinearScanReference.unplaced_bound(cursor)
+            )
+
+    @given(_blocks, _chunks, st.integers(0, 30))
+    @settings(max_examples=100, deadline=None)
+    def test_running_counters_match_recomputation(self, blocks, chunk, demand):
+        cursor, eager = _multi_feed_cursor(blocks, "L", chunk)
+        cursor.ensure(demand)
+        untouched, tuples, saved = _LinearScanReference.counters(cursor)
+        assert cursor.blocks_untouched == untouched
+        assert cursor.tuples_fetched == tuples
+        assert cursor.pages_saved() == saved
+        cursor.ensure_all()
+        untouched, tuples, saved = _LinearScanReference.counters(cursor)
+        assert cursor.blocks_untouched == untouched
+        assert cursor.tuples_fetched == tuples
+        assert cursor.pages_saved() == saved
+        assert _signature(cursor.rows) == _signature(eager)
+        assert cursor.suffix_min(len(cursor.rows)) == math.inf
+
+    def test_thousand_block_scenario_stays_lazy(self):
+        """The O(log B) cursor at the scale the heap unlocks: 1000
+        blocks, top-of-the-feed demand touches only a tiny prefix."""
+        blocks = [(base, [base, base + 1, base + 2]) for base in range(1000)]
+        cursor, eager = _multi_feed_cursor(blocks, "L", 2)
+        cursor.ensure(10)
+        assert _signature(cursor.rows[:10]) == _signature(eager[:10])
+        assert cursor.blocks_untouched > 900  # the point of being lazy
+        assert cursor.suffix_min(len(cursor.rows)) == (
+            _LinearScanReference.unplaced_bound(cursor)
+        )

@@ -1,0 +1,209 @@
+"""Differential and stress suite for parallel plan execution.
+
+:class:`~repro.execution.parallel.ParallelExecutor` must be
+**bit-identical** — rows, ranks, emission order, *and call counts* —
+to ``ExecutionEngine(mode=PARALLEL)`` on the same plan, for every
+cache setting and worker count: worker scheduling may reorder the
+physical work but nothing observable (the determinism argument in
+``docs/ARCHITECTURE.md``).  The cache half of the argument gets its
+own stress test: a shared lock-guarded
+:class:`~repro.execution.cache.ThreadSafeCache` hammered by concurrent
+workers must never change answers or double-count remote calls.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.cache import CacheSetting, OptimalCache, ThreadSafeCache
+from repro.execution.engine import ExecutionEngine, ExecutionMode
+from repro.execution.parallel import ParallelExecutor
+from repro.plans.builder import PlanBuilder
+from repro.services.registry import JoinMethod
+from repro.sources.travel import (
+    alpha1_patterns,
+    poset_optimal,
+    poset_parallel,
+    poset_serial,
+    running_example_query,
+    travel_registry,
+)
+
+from tests.test_property_streaming import _random_table_plan, _signature
+
+POSETS = {
+    "optimal": poset_optimal,
+    "serial": poset_serial,
+    "parallel": poset_parallel,
+}
+
+
+def _travel_plan(poset_name):
+    query = running_example_query()
+    registry = travel_registry()
+    plan = PlanBuilder(query, registry).build(
+        alpha1_patterns(), POSETS[poset_name]()
+    )
+    return query, plan
+
+
+def _service_counters(stats):
+    return {
+        name: (s.calls, s.fetches, s.cache_hits, s.remote_cache_hits,
+               s.tuples_fetched)
+        for name, s in stats.per_service.items()
+    }
+
+
+class TestParallelExecutorMatchesEngine:
+    def test_travel_plans_bit_identical_across_settings_and_workers(self):
+        for poset_name in POSETS:
+            query, plan = _travel_plan(poset_name)
+            for setting in CacheSetting:
+                serial = ExecutionEngine(
+                    travel_registry(), cache_setting=setting,
+                    mode=ExecutionMode.PARALLEL,
+                ).execute(plan, query.head)
+                for workers in (1, 4):
+                    result = ParallelExecutor(
+                        travel_registry(), cache_setting=setting,
+                        workers=workers,
+                    ).execute(plan, query.head)
+                    assert _signature(result.rows) == _signature(serial.rows)
+                    assert _service_counters(result.stats) == _service_counters(
+                        serial.stats
+                    )
+                    assert result.stats.tuples_processed == (
+                        serial.stats.tuples_processed
+                    )
+                    assert result.complete
+
+    @given(
+        st.lists(st.integers(0, 2), min_size=1, max_size=6),
+        st.lists(st.integers(0, 2), min_size=1, max_size=6),
+        st.sampled_from((JoinMethod.NESTED_LOOP, JoinMethod.MERGE_SCAN)),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_plans_bit_identical(self, lk, rk, method, workers):
+        registry, query, plan = _random_table_plan(lk, rk, method)
+        head = tuple(query.head)
+        serial = ExecutionEngine(registry, mode=ExecutionMode.PARALLEL).execute(
+            plan, head=head
+        )
+        result = ParallelExecutor(registry, workers=workers).execute(
+            plan, head=head
+        )
+        assert _signature(result.rows) == _signature(serial.rows)
+        assert _service_counters(result.stats) == _service_counters(
+            serial.stats
+        )
+
+    def test_one_call_cache_forces_single_worker(self):
+        executor = ParallelExecutor(
+            travel_registry(), cache_setting=CacheSetting.ONE_CALL, workers=8
+        )
+        assert executor.effective_workers() == 1
+        query, plan = _travel_plan("serial")
+        result = executor.execute(plan, query.head)
+        assert result.stats.parallel_workers == 1
+
+    def test_wall_time_and_workers_are_recorded(self):
+        query, plan = _travel_plan("optimal")
+        result = ParallelExecutor(travel_registry(), workers=4).execute(
+            plan, query.head
+        )
+        assert result.stats.parallel_workers == 4
+        assert result.stats.wall_time > 0
+        assert result.stats.elapsed > 0  # virtual critical path rides along
+        assert "parallel: workers=4" in result.stats.summary()
+
+    def test_virtual_elapsed_matches_engine_with_one_worker(self):
+        query, plan = _travel_plan("optimal")
+        serial = ExecutionEngine(
+            travel_registry(), mode=ExecutionMode.PARALLEL
+        ).execute(plan, query.head)
+        result = ParallelExecutor(travel_registry(), workers=1).execute(
+            plan, query.head
+        )
+        assert result.stats.elapsed == serial.stats.elapsed
+
+
+class TestThreadSafeCacheStress:
+    def test_concurrent_hits_never_change_answers_or_double_count(self):
+        """Many workers resolving overlapping input settings against one
+        shared cache: every distinct (key, page) is computed exactly
+        once, and every worker observes the same value for it."""
+        cache = ThreadSafeCache(OptimalCache())
+        computed: dict[tuple, int] = {}
+        computed_lock = threading.Lock()
+        keys = [f"input-{i}" for i in range(8)]
+        pages = 3
+
+        def resolve(worker: int):
+            observed = {}
+            for repeat in range(4):
+                for key in keys:
+                    with cache.key_lock("svc", key):
+                        for page in range(pages):
+                            value = cache.lookup("svc", key, page)
+                            if value is None:
+                                with computed_lock:
+                                    computed[(key, page)] = (
+                                        computed.get((key, page), 0) + 1
+                                    )
+                                value = f"{key}/{page}"
+                                cache.store("svc", key, page, value)
+                            observed[(key, page)] = value
+            return observed
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(resolve, range(16)))
+        expected = {
+            (key, page): f"{key}/{page}"
+            for key in keys
+            for page in range(pages)
+        }
+        assert all(observed == expected for observed in results)
+        assert computed == {key: 1 for key in expected}  # never double-computed
+
+    def test_key_lock_is_per_input_setting(self):
+        cache = ThreadSafeCache(OptimalCache())
+        lock_a = cache.key_lock("svc", "a")
+        assert cache.key_lock("svc", "a") is lock_a
+        assert cache.key_lock("svc", "b") is not lock_a
+        assert cache.key_lock("other", "a") is not lock_a
+
+    def test_wrapper_delegates_and_exposes_inner(self):
+        inner = OptimalCache(capacity=2)
+        cache = ThreadSafeCache(inner)
+        cache.store("svc", "k", 0, "v0")
+        assert cache.lookup("svc", "k", 0) == "v0"
+        assert cache.inner is inner
+        cache.store("svc", "k", 1, "v1")
+        cache.store("svc", "k", 2, "v2")  # capacity bound still enforced
+        assert len(inner) == 2
+        assert inner.evictions == 1
+        cache.clear()
+        assert cache.lookup("svc", "k", 1) is None
+
+    def test_shared_cache_across_parallel_executions(self):
+        """A second run over the same warmed shared cache is all hits —
+        and the answers do not change."""
+        query, plan = _travel_plan("optimal")
+        registry = travel_registry()
+        shared = ThreadSafeCache(OptimalCache())
+        executor = ParallelExecutor(registry, workers=4)
+        first = executor.execute(
+            plan, query.head, shared_cache=shared, reset_remote_caches=False
+        )
+        second = executor.execute(
+            plan, query.head, shared_cache=shared, reset_remote_caches=False
+        )
+        assert _signature(second.rows) == _signature(first.rows)
+        assert second.stats.total_calls == 0
+        assert second.stats.total_cache_hits > 0

@@ -1,0 +1,286 @@
+"""Differential suite for slot-indexed row execution.
+
+Slot execution (``repro.execution.slots``) is a pure representation
+change: the hashed join, the join stream, and the engine's service
+nodes carry rows as fixed-width value tuples through their inner loops
+and decode them back to :class:`Row` bindings at node boundaries.
+Everything here checks **bit-identity** against the dict-row path —
+the ``slot_rows=False`` oracle — across random inputs, methods, k, and
+whole-plan executions, plus the documented fallbacks: heterogeneous
+rows, unhashable key values, and predicates over unbound variables
+must take the dict path and reproduce its exact behavior (including
+its exceptions).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.execution.engine import ExecutionEngine, ExecutionMode
+from repro.execution.joins import (
+    JoinStream,
+    _hashed_join_slot_path,
+    execute_join,
+    execute_join_hashed,
+)
+from repro.execution.results import Row, compose_ranking
+from repro.execution.slots import (
+    SlotJoinPlan,
+    SlotLayout,
+    compile_comparison,
+    compile_expression,
+    compile_predicates,
+    layout_for_rows,
+)
+from repro.model.predicates import BinaryExpression, Comparison, PredicateError
+from repro.model.terms import Constant, Variable
+from repro.services.registry import JoinMethod
+
+from tests.test_property_streaming import (
+    _random_table_plan,
+    _ranked_side,
+    _signature,
+)
+
+METHODS = (JoinMethod.NESTED_LOOP, JoinMethod.MERGE_SCAN)
+
+K, L, R = Variable("K"), Variable("L"), Variable("R")
+
+_keys = st.lists(st.integers(0, 3), min_size=0, max_size=6)
+_ranks = st.lists(st.integers(0, 9), min_size=6, max_size=6)
+_k = st.one_of(st.none(), st.integers(0, 40))
+
+
+class TestSlotLayout:
+    def test_encode_decode_roundtrip(self):
+        row = Row(bindings={K: 1, L: "x"}, ranks=(("s", 2),))
+        layout = SlotLayout.for_row(row)
+        values = layout.encode(row)
+        assert values == (1, "x")
+        decoded = layout.decode(values, ranks=row.ranks)
+        assert decoded == row
+
+    def test_encode_rejects_heterogeneous_rows(self):
+        layout = SlotLayout((K, L))
+        assert layout.encode(Row(bindings={K: 1})) is None  # missing L
+        assert layout.encode(Row(bindings={K: 1, R: 2})) is None  # wrong set
+        assert layout.encode(Row(bindings={K: 1, L: 2, R: 3})) is None  # extra
+
+    def test_layout_for_rows_empty(self):
+        assert layout_for_rows([]) is None
+
+    def test_join_plan_merge_matches_merged_with(self):
+        left = Row(bindings={K: 1, L: 2})
+        right_match = Row(bindings={K: 1, R: 3})
+        right_clash = Row(bindings={K: 9, R: 3})
+        plan = SlotJoinPlan(
+            SlotLayout.for_row(left), SlotLayout.for_row(right_match)
+        )
+        merged = plan.merge(
+            plan.left.encode(left), plan.right.encode(right_match)
+        )
+        expected = left.merged_with(right_match)
+        assert plan.merged.decode(merged) == expected
+        assert tuple(plan.merged.variables) == tuple(expected.bindings)
+        assert (
+            plan.merge(plan.left.encode(left), plan.right.encode(right_clash))
+            is None
+        )
+        assert left.merged_with(right_clash) is None
+
+
+class TestCompiledPredicates:
+    def test_compiled_comparison_matches_holds(self):
+        layout = SlotLayout((L, R))
+        predicate = Comparison(
+            BinaryExpression("+", L, R), "<", Constant(5)
+        )
+        holds = compile_comparison(predicate, layout)
+        for pair in [(1, 2), (4, 4), (2, 3)]:
+            row = Row(bindings={L: pair[0], R: pair[1]})
+            assert holds(layout.encode(row)) == predicate.holds(row.bindings)
+
+    def test_compiled_comparison_raises_identical_error(self):
+        layout = SlotLayout((L,))
+        predicate = Comparison(L, "<", Constant(5))
+        holds = compile_comparison(predicate, layout)
+        with pytest.raises(PredicateError) as compiled_error:
+            holds(layout.encode(Row(bindings={L: "text"})))
+        with pytest.raises(PredicateError) as dict_error:
+            predicate.holds({L: "text"})
+        assert str(compiled_error.value) == str(dict_error.value)
+
+    def test_unbound_variable_is_uncompilable(self):
+        layout = SlotLayout((L,))
+        assert compile_expression(R, layout) is None
+        assert compile_comparison(Comparison(R, "<", Constant(1)), layout) is None
+        assert (
+            compile_predicates(
+                [Comparison(L, "<", Constant(1)), Comparison(R, "<", Constant(1))],
+                layout,
+            )
+            is None
+        )  # all-or-nothing
+
+
+class TestHashedJoinSlotPath:
+    @given(_keys, _keys, _ranks, _ranks)
+    @settings(max_examples=100, deadline=None)
+    def test_bit_identical_to_dict_path(self, lk, rk, lr, rr):
+        left = _ranked_side(lk, lr, "L")
+        right = _ranked_side(rk, rr, "R")
+        predicate = Comparison(
+            BinaryExpression("+", L, R), "<", Constant(5)
+        )
+        for method in METHODS:
+            for predicates in ((), (predicate,)):
+                slot = execute_join_hashed(
+                    method, left, right, predicates, slot_rows=True
+                )
+                oracle = execute_join_hashed(
+                    method, left, right, predicates, slot_rows=False
+                )
+                assert _signature(slot) == _signature(oracle)
+
+    def test_slot_path_engages_on_homogeneous_rows(self):
+        left = _ranked_side([0, 1, 0], [1, 2, 3, 0, 0, 0], "L")
+        right = _ranked_side([0, 1, 1], [3, 2, 1, 0, 0, 0], "R")
+        assert _hashed_join_slot_path(
+            JoinMethod.MERGE_SCAN, left, right, ()
+        ) is not None
+
+    def test_heterogeneous_rows_fall_back(self):
+        left = [Row(bindings={K: 0, L: 0}), Row(bindings={K: 0})]
+        right = [Row(bindings={K: 0, R: 1})]
+        assert _hashed_join_slot_path(JoinMethod.NESTED_LOOP, left, right, ()) is None
+        assert _signature(
+            execute_join_hashed(JoinMethod.NESTED_LOOP, left, right)
+        ) == _signature(execute_join(JoinMethod.NESTED_LOOP, left, right))
+
+    def test_unhashable_keys_fall_back(self):
+        left = [Row(bindings={K: [1], L: 0})]
+        right = [Row(bindings={K: [1], R: 0})]
+        assert _hashed_join_slot_path(JoinMethod.NESTED_LOOP, left, right, ()) is None
+        assert _signature(
+            execute_join_hashed(JoinMethod.NESTED_LOOP, left, right)
+        ) == _signature(execute_join(JoinMethod.NESTED_LOOP, left, right))
+
+    def test_uncompilable_predicate_falls_back_to_dict_error(self):
+        left = [Row(bindings={K: 0, L: 0})]
+        right = [Row(bindings={K: 0, R: 0})]
+        unbound = Comparison(Variable("Missing"), "<", Constant(1))
+        assert (
+            _hashed_join_slot_path(
+                JoinMethod.NESTED_LOOP, left, right, (unbound,)
+            )
+            is None
+        )
+        with pytest.raises(PredicateError) as slot_error:
+            execute_join_hashed(
+                JoinMethod.NESTED_LOOP, left, right, (unbound,), slot_rows=True
+            )
+        with pytest.raises(PredicateError) as dict_error:
+            execute_join_hashed(
+                JoinMethod.NESTED_LOOP, left, right, (unbound,), slot_rows=False
+            )
+        assert str(slot_error.value) == str(dict_error.value)
+
+
+class TestJoinStreamSlotPath:
+    @given(_keys, _keys, _ranks, _ranks, _k)
+    @settings(max_examples=100, deadline=None)
+    def test_bit_identical_to_dict_stream(self, lk, rk, lr, rr, k):
+        left = _ranked_side(lk, lr, "L")
+        right = _ranked_side(rk, rr, "R")
+        predicate = Comparison(
+            BinaryExpression("+", L, R), "<", Constant(5)
+        )
+        for method in METHODS:
+            slot_stream = JoinStream(
+                method, left, right, (predicate,), slot_rows=True
+            )
+            dict_stream = JoinStream(
+                method, left, right, (predicate,), slot_rows=False
+            )
+            assert _signature(slot_stream.top(k)) == _signature(
+                dict_stream.top(k)
+            )
+            # identical walk, not just identical answers
+            assert slot_stream.cells_visited == dict_stream.cells_visited
+            assert slot_stream.cells_skipped == dict_stream.cells_skipped
+
+    @given(_keys, _keys, _ranks, _ranks, st.integers(0, 6), st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_resumed_slot_stream_stays_identical(
+        self, lk, rk, lr, rr, k1, k2_extra
+    ):
+        left = _ranked_side(lk, lr, "L")
+        right = _ranked_side(rk, rr, "R")
+        for method in METHODS:
+            slot_stream = JoinStream(method, left, right, slot_rows=True)
+            dict_stream = JoinStream(method, left, right, slot_rows=False)
+            assert _signature(slot_stream.top(k1)) == _signature(
+                dict_stream.top(k1)
+            )
+            k2 = k1 + k2_extra
+            assert _signature(slot_stream.top(k2)) == _signature(
+                dict_stream.top(k2)
+            )
+
+    def test_heterogeneous_input_falls_back_mid_walk(self):
+        left = [
+            Row(bindings={K: 0, L: 0}, ranks=(("L", 0),)),
+            Row(bindings={K: 0}, ranks=(("L", 1),)),  # misfit row
+        ]
+        right = _ranked_side([0, 0], [0, 1, 0, 0, 0, 0], "R")
+        slot_stream = JoinStream(JoinMethod.NESTED_LOOP, left, right)
+        dict_stream = JoinStream(
+            JoinMethod.NESTED_LOOP, left, right, slot_rows=False
+        )
+        assert _signature(slot_stream.top(None)) == _signature(
+            dict_stream.top(None)
+        )
+        assert slot_stream._slot_failed  # the fallback actually fired
+
+
+class TestEngineSlotPath:
+    """Whole-plan slot execution vs the dict-row engine."""
+
+    @given(
+        st.lists(st.integers(0, 2), min_size=1, max_size=6),
+        st.lists(st.integers(0, 2), min_size=1, max_size=6),
+        st.one_of(st.none(), st.integers(0, 12)),
+        st.sampled_from(METHODS),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_engine_bit_identical_across_modes(self, lk, rk, k, method):
+        registry, query, plan = _random_table_plan(lk, rk, method)
+        head = tuple(query.head)
+        for mode in (ExecutionMode.PARALLEL, ExecutionMode.STREAMED):
+            slot = ExecutionEngine(registry, mode=mode, slot_rows=True).execute(
+                plan, head=head, k=k
+            )
+            oracle = ExecutionEngine(
+                registry, mode=mode, slot_rows=False
+            ).execute(plan, head=head, k=k)
+            assert _signature(slot.rows) == _signature(oracle.rows)
+            assert slot.complete == oracle.complete
+            assert slot.stats.summary() == oracle.stats.summary()
+            assert slot.node_output_sizes == oracle.node_output_sizes
+
+    def test_full_scan_agrees_with_compose_ranking_oracle(self):
+        registry, query, plan = _random_table_plan(
+            [0, 1, 2, 0], [2, 1, 0, 0], JoinMethod.MERGE_SCAN
+        )
+        head = tuple(query.head)
+        result = ExecutionEngine(
+            registry, mode=ExecutionMode.PARALLEL, slot_rows=True
+        ).execute(plan, head=head)
+        oracle = ExecutionEngine(
+            registry, mode=ExecutionMode.PARALLEL, slot_rows=False
+        ).execute(plan, head=head)
+        assert _signature(result.rows) == _signature(
+            compose_ranking(oracle.rows)
+        )
