@@ -16,7 +16,12 @@ layer and measures what the subsystem was built to amortize:
   cache versus the baseline's per-request private caches;
 * **throughput** — wall-clock submissions/s, warm versus cold;
 * **restart warmth** — a second fleet pointed at the same plan-cache
-  file starts with zero misses (the disk tier).
+  file starts with zero misses (the disk tier);
+* **concurrency** — N worker threads replay the same Zipf stream
+  round-robin against one shared fleet over the SQLite WAL tier; every
+  answer must be bit-identical to the sequential cold oracle and the
+  plan-cache accounting must match the sequential schedule exactly
+  (single-flight: misses == distinct templates touched, for any N).
 
 Every distinct template is also verified differentially: the warm
 fleet's answer (plan rebuilt from the cached spec, pages largely from
@@ -29,6 +34,7 @@ from __future__ import annotations
 
 import json
 import random
+import threading
 import time
 
 import pytest
@@ -46,6 +52,7 @@ REQUESTS = bench_scale(300, 80)
 K = 5
 ZIPF_EXPONENT = 1.1
 SEED = 20080824
+WORKER_COUNTS = bench_scale((1, 2, 4, 8), (1, 4))
 
 _REGISTRIES = {
     "travel": travel_registry,
@@ -146,6 +153,52 @@ def _answer_signature(response):
     )
 
 
+def _remove_sqlite_files(path):
+    for suffix in ("", "-wal", "-shm"):
+        sibling = path.parent / (path.name + suffix)
+        if sibling.exists():
+            sibling.unlink()
+
+
+def _threaded_replay(fleet, population, stream, workers) -> dict:
+    """Replay *stream* round-robin across *workers* barrier-started
+    threads against one shared fleet; returns timing plus the answer
+    signature of every request, indexed by position in the stream."""
+    signatures: list = [None] * len(stream)
+    barrier = threading.Barrier(workers)
+    errors: list[BaseException] = []
+
+    def run(worker_index):
+        try:
+            barrier.wait()
+            for position in range(worker_index, len(stream), workers):
+                domain, _, query = population[stream[position]]
+                response = fleet[domain].submit(query, k=K)
+                signatures[position] = _answer_signature(response)
+        except BaseException as error:  # pragma: no cover - fail loudly
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=run, args=(index,), name=f"bench-w{index}")
+        for index in range(workers)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    if errors:
+        raise errors[0]
+    return {
+        "workers": workers,
+        "requests": len(stream),
+        "wall_s": round(elapsed, 3),
+        "requests_per_s": round(len(stream) / elapsed, 1),
+        "signatures": signatures,
+    }
+
+
 class TestServingTrajectory:
     def test_write_bench_serving(self, out_dir):
         population = _templates()
@@ -173,15 +226,20 @@ class TestServingTrajectory:
         restarted["plan_cache"] = restarted_cache.stats.to_dict()
 
         # Differential: warm answers are bit-identical to cold ones.
+        # The cold signatures double as the sequential oracle for the
+        # concurrency sweep below (answers are a pure function of
+        # registry content, query, and k).
         fresh = _baseline_fleet()
+        oracle: dict[int, tuple] = {}
         for index in touched:
             domain, label, query = population[index]
             warm_answer = fleet[domain].submit(query, k=K)
             assert warm_answer.provenance == "memory", label
             cold_answer = fresh[domain].submit(query, k=K)
-            assert _answer_signature(warm_answer) == _answer_signature(
-                cold_answer
-            ), f"warm answer diverged from cold for {label}"
+            oracle[index] = _answer_signature(cold_answer)
+            assert _answer_signature(warm_answer) == oracle[
+                index
+            ], f"warm answer diverged from cold for {label}"
 
         # The acceptance criteria of the subsystem.
         assert hit_rate >= 0.8, f"warm hit rate {hit_rate:.2%} below 80%"
@@ -191,6 +249,60 @@ class TestServingTrajectory:
         )
         assert warm["service_calls"] < cold["service_calls"]
         assert restarted_cache.stats.misses == 0, "disk tier must start warm"
+
+        # Concurrency sweep: N threads share one fleet over the SQLite
+        # WAL tier.  Bit-identity and sequential accounting must hold
+        # for every worker count.
+        sweep = []
+        sqlite_path = None
+        for workers in WORKER_COUNTS:
+            sqlite_path = out_dir / f"plan_cache_serving_w{workers}.sqlite"
+            _remove_sqlite_files(sqlite_path)
+            swept_cache = PlanCache(path=sqlite_path)
+            swept_fleet = _fleet(swept_cache)
+            run = _threaded_replay(swept_fleet, population, stream, workers)
+            for position, signature in enumerate(run.pop("signatures")):
+                assert signature == oracle[stream[position]], (
+                    f"answer diverged from sequential oracle at request "
+                    f"{position} with {workers} workers"
+                )
+            # Single-flight pins the accounting to the sequential
+            # schedule: one miss (and one optimize) per touched
+            # template, independent of the thread count.
+            assert swept_cache.stats.lookups == REQUESTS
+            assert swept_cache.stats.misses == len(touched)
+            assert sum(
+                s.stats.optimizer_runs for s in swept_fleet.values()
+            ) == len(touched)
+            if not QUICK:
+                assert swept_cache.stats.hit_rate >= 0.95, (
+                    f"hit rate regressed: {swept_cache.stats.hit_rate:.2%}"
+                )
+            run["plan_cache"] = swept_cache.stats.to_dict()
+            run["hit_rate"] = round(swept_cache.stats.hit_rate, 4)
+            run["backend"] = swept_cache.backend_name
+            sweep.append(run)
+            swept_cache.close()
+
+        # Restart-from-SQLite warm start: a fresh fleet over the last
+        # sweep's database replays every touched template with zero
+        # misses and zero optimizer runs.
+        warm_start_cache = PlanCache(path=sqlite_path)
+        warm_start_fleet = _fleet(warm_start_cache)
+        for index in touched:
+            domain, label, query = population[index]
+            response = warm_start_fleet[domain].submit(query, k=K)
+            assert response.provenance == "disk", label
+            assert _answer_signature(response) == oracle[index], label
+        assert warm_start_cache.stats.misses == 0, (
+            "SQLite tier must start warm after restart"
+        )
+        warm_start = {
+            "backend": warm_start_cache.backend_name,
+            "requests": len(touched),
+            "plan_cache": warm_start_cache.stats.to_dict(),
+        }
+        warm_start_cache.close()
 
         payload = {
             "bench": "serving",
@@ -208,6 +320,12 @@ class TestServingTrajectory:
             "cold_baseline": cold,
             "warm_fleet": warm,
             "restarted_fleet": restarted,
+            "concurrency": {
+                "worker_counts": list(WORKER_COUNTS),
+                "backend": "sqlite",
+                "sweep": sweep,
+                "restart_from_sqlite": warm_start,
+            },
             "savings": {
                 "plan_cache_hit_rate": round(hit_rate, 4),
                 "optimizer_annotate_calls_saved": (

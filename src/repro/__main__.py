@@ -24,6 +24,11 @@ Commands
     Minimal line-oriented server on stdin/stdout: each line is a
     datalog query, ``more <session_id> [n]``, ``stats``, or ``quit``;
     one JSON response is printed per line.
+
+Both serving commands persist plans with ``--plan-cache PATH``: a
+``.sqlite``/``.db`` suffix (or ``--plan-cache-backend sqlite``) selects
+the concurrent WAL-mode SQLite tier, anything else the JSON file tier;
+the service itself is thread-safe either way.
 """
 
 from __future__ import annotations
@@ -89,7 +94,10 @@ def _make_query_service(args):
     from repro.serving import PlanCache, QueryService
 
     registry, showcase = _load_domain(args.domain)
-    plan_cache = PlanCache(path=getattr(args, "plan_cache", None))
+    plan_cache = PlanCache(
+        path=getattr(args, "plan_cache", None),
+        backend=getattr(args, "plan_cache_backend", "auto"),
+    )
     service = QueryService(
         registry=registry,
         metric=_METRICS[args.metric](),
@@ -176,7 +184,11 @@ def main(argv: list[str] | None = None) -> int:
     qry.add_argument("--repeat", type=int, default=1,
                      help="submit the query N times (shows plan-cache hits)")
     qry.add_argument("--plan-cache", default=None, metavar="PATH",
-                     help="persist optimized plans to this JSON file")
+                     help="persist optimized plans to this file "
+                     "(.sqlite/.db suffix selects the SQLite WAL tier)")
+    qry.add_argument("--plan-cache-backend", default="auto",
+                     choices=("auto", "json", "sqlite"),
+                     help="disk tier for --plan-cache (auto: by suffix)")
 
     srv = sub.add_parser(
         "serve", help="line-oriented query server on stdin/stdout"
@@ -185,7 +197,11 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--metric", choices=sorted(_METRICS), default="time")
     srv.add_argument("-k", type=int, default=10, help="default answers per query")
     srv.add_argument("--plan-cache", default=None, metavar="PATH",
-                     help="persist optimized plans to this JSON file")
+                     help="persist optimized plans to this file "
+                     "(.sqlite/.db suffix selects the SQLite WAL tier)")
+    srv.add_argument("--plan-cache-backend", default="auto",
+                     choices=("auto", "json", "sqlite"),
+                     help="disk tier for --plan-cache (auto: by suffix)")
 
     args = parser.parse_args(argv)
 

@@ -17,6 +17,7 @@ from repro.serving.fingerprint import (
 )
 from repro.serving.plan_cache import CachedPlan, PlanCache, PlanCacheStats
 from repro.serving.service import QueryResponse, QueryService, ServingStats
+from repro.serving.sqlite_cache import SQLiteDiskTier
 from repro.serving.sessions import (
     Session,
     SessionError,
@@ -30,6 +31,7 @@ __all__ = [
     "PlanCacheStats",
     "QueryResponse",
     "QueryService",
+    "SQLiteDiskTier",
     "ServingStats",
     "Session",
     "SessionError",

@@ -14,25 +14,51 @@ Two tiers:
 
 * **memory** — an LRU dict bounded by ``capacity``; hits refresh
   recency, stores beyond capacity evict the least recently used entry;
-* **disk** — an optional JSON file (``path``) holding every entry ever
-  stored.  Lookups that miss memory fall through to disk and promote
-  the entry back into the LRU tier, so a restarted server (or a
-  sibling process pointed at the same file) starts warm.  Writes
-  re-read the file and merge before replacing it, so sequential
-  writers never destroy each other's entries; truly *concurrent*
-  writers remain last-merge-wins within the race window (a locking or
-  sqlite tier is the ROADMAP follow-up for real multi-writer fleets).
+* **disk** — an optional persistent store (``path``) holding every
+  entry ever admitted.  Lookups that miss memory fall through to disk
+  and promote the entry back into the LRU tier, so a restarted server
+  (or a sibling process pointed at the same path) starts warm.
+
+The disk tier has two interchangeable backends with identical
+lookup/store/stats semantics (a seeded differential in
+``tests/test_serving.py`` pins them bit-identical):
+
+* ``backend="sqlite"`` — the concurrent default for new deployments:
+  a WAL-mode SQLite database (:mod:`repro.serving.sqlite_cache`) safe
+  under many threads *and* many processes; epoch pruning is one SQL
+  ``DELETE``.  ``migrate_json`` imports an existing JSON-tier file on
+  open (existing database rows win), so a fleet can move to SQLite
+  without losing its accumulated plans.
+* ``backend="json"`` — the original whole-file format, kept as the
+  migration/read path and as the differential oracle.  Writes re-read
+  the file and merge before replacing it, so *sequential* writers
+  never destroy each other's entries; truly concurrent writers remain
+  last-merge-wins within the race window — use the SQLite backend for
+  real multi-writer fleets.
+
+``backend="auto"`` (the default) picks by path suffix: ``.sqlite`` /
+``.sqlite3`` / ``.db`` get SQLite, anything else stays JSON.
+
+All cache state (LRU order, stats counters, tenant quotas) is guarded
+by one internal lock, so ``lookup``/``store``/``prune`` are safe to
+call from any number of serving threads; per-*key* single-flight (one
+optimizer run per concurrent miss) is layered above this lock by
+:meth:`repro.serving.service.QueryService._resolve_plan`.
+
+**Per-tenant admission quotas**: ``tenant_quota`` bounds how many
+distinct keys any one tenant may admit through :meth:`PlanCache.store`
+(callers tag stores with a tenant id — the serving layer uses the
+registry epoch, i.e. one quota per registry content version).  A
+rejected store is pure cost, never wrongness: the plan simply stays
+uncached and the next submission re-optimizes.  Rejections are counted
+in ``stats.quota_rejections``.  Quota accounting is per process — a
+restart starts fresh, matching its purpose (protecting a shared store
+from one runaway tenant flooding it within a serving lifetime).
 
 Invalidation is by *construction*: the registry epoch is part of the
 key, so entries recorded under drifted service profiles are simply
 never addressed again.  :meth:`PlanCache.prune` removes them from the
-disk file when housekeeping is wanted.
-
-Cost model of the disk tier: every ``store`` rewrites the whole file
-(O(entries) per miss) — the deliberate price of per-store durability
-at this deployment's scale (tens to hundreds of distinct plan keys).
-A fleet caching orders of magnitude more plans wants the ROADMAP's
-sqlite/locking follow-up, not a bigger JSON file.
+disk tier when housekeeping is wanted.
 """
 
 from __future__ import annotations
@@ -40,14 +66,19 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.plans.spec import PlanSpec
+from repro.serving.sqlite_cache import PlanRow, SQLiteDiskTier
 
-#: Marks entries written by this cache format.
+#: Marks entries written by the JSON disk format.
 _FORMAT_VERSION = 1
+
+#: Path suffixes that ``backend="auto"`` routes to the SQLite tier.
+_SQLITE_SUFFIXES = {".sqlite", ".sqlite3", ".db"}
 
 
 @dataclass(frozen=True)
@@ -70,6 +101,7 @@ class PlanCacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    quota_rejections: int = 0
 
     @property
     def hits(self) -> int:
@@ -94,6 +126,7 @@ class PlanCacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "quota_rejections": self.quota_rejections,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -123,56 +156,242 @@ class _Entry:
         )
 
 
+class _JsonDiskTier:
+    """The original merge-on-flush JSON file, as a disk-tier backend.
+
+    Kept bit-compatible with the pre-SQLite format so existing cache
+    files keep working, and exposed through the same row-tuple
+    interface as :class:`~repro.serving.sqlite_cache.SQLiteDiskTier`
+    so the two can be compared differentially.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._entries: dict[str, _Entry] = {}
+        if path.exists():
+            self._entries = _load_json_entries(path)
+
+    def get(self, key: str) -> PlanRow | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return (entry.spec_json, entry.cost, entry.metric, entry.epoch)
+
+    def put(self, key: str, spec_json: str, cost: float, metric: str,
+            epoch: str) -> None:
+        self._entries[key] = _Entry(
+            spec_json=spec_json, cost=cost, metric=metric, epoch=epoch
+        )
+        self._flush(merge=True)
+
+    def prune(self, epoch: str) -> tuple[str, ...]:
+        stale = tuple(
+            key
+            for key, entry in self._entries.items()
+            if entry.epoch != epoch
+        )
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            self._flush()
+        return stale
+
+    def clear(self) -> None:
+        if self._entries:
+            self._entries.clear()
+            self._flush()
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        return None
+
+    def _flush(self, merge: bool = False) -> None:
+        """Atomically rewrite the file from the entry dict.
+
+        With ``merge``, entries another process persisted since our
+        last read are folded in first (our own keys win), so
+        sequentially interleaved writers accumulate instead of
+        clobbering.  ``prune``/``clear`` flush without merging —
+        removal must not resurrect what was just dropped.
+        """
+        if merge and self.path.exists():
+            for key, entry in _load_json_entries(self.path).items():
+                self._entries.setdefault(key, entry)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": {
+                key: entry.to_dict() for key, entry in self._entries.items()
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream, sort_keys=True)
+            os.replace(temp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+
+def _load_json_entries(path: Path) -> dict[str, _Entry]:
+    """Entries of a JSON-tier file (empty on corrupt/foreign files)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if payload.get("version") != _FORMAT_VERSION:
+        return {}
+    entries = payload.get("entries", {})
+    loaded: dict[str, _Entry] = {}
+    for key, data in entries.items():
+        try:
+            loaded[key] = _Entry.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            continue  # skip individually corrupt rows
+    return loaded
+
+
 @dataclass
 class PlanCache:
     """LRU + optional-disk store of optimized plan specifications.
 
     ``capacity=0`` disables the memory tier entirely (every lookup
     misses unless a disk path is given) — the serving bench uses this
-    as its no-plan-cache baseline.
+    as its no-plan-cache baseline.  See the module docstring for the
+    ``backend`` choices, ``tenant_quota``, and the thread-safety
+    contract.
     """
 
     path: Path | str | None = None
     capacity: int = 128
+    backend: str = "auto"  # "auto" | "json" | "sqlite"
+    busy_timeout_ms: int = 30_000
+    tenant_quota: int | None = None
+    migrate_json: Path | str | None = None
     stats: PlanCacheStats = field(default_factory=PlanCacheStats)
 
     def __post_init__(self) -> None:
         if self.capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+        if self.backend not in ("auto", "json", "sqlite"):
+            raise ValueError(
+                f"backend must be auto|json|sqlite, got {self.backend!r}"
+            )
+        if self.tenant_quota is not None and self.tenant_quota < 0:
+            raise ValueError(
+                f"tenant_quota must be >= 0 or None, got {self.tenant_quota}"
+            )
         self.path = Path(self.path) if self.path is not None else None
+        self._lock = threading.RLock()
         self._memory: OrderedDict[str, _Entry] = OrderedDict()
-        self._disk: dict[str, _Entry] = {}
-        if self.path is not None and self.path.exists():
-            self._disk = self._load(self.path)
+        self._tenant_keys: dict[str, set[str]] = {}
+        self._tier: _JsonDiskTier | SQLiteDiskTier | None = None
+        if self.path is not None:
+            if self._resolved_backend() == "sqlite":
+                self._tier = SQLiteDiskTier(
+                    self.path, busy_timeout_ms=self.busy_timeout_ms
+                )
+                self._migrate_from_json()
+            else:
+                self._tier = _JsonDiskTier(self.path)
+
+    def _resolved_backend(self) -> str | None:
+        """The disk backend actually in use (None without a path)."""
+        if self.path is None:
+            return None
+        if self.backend != "auto":
+            return self.backend
+        return (
+            "sqlite"
+            if Path(self.path).suffix.lower() in _SQLITE_SUFFIXES
+            else "json"
+        )
+
+    @property
+    def backend_name(self) -> str | None:
+        """The resolved disk backend: "json", "sqlite", or None."""
+        return self._resolved_backend()
+
+    def _migrate_from_json(self) -> None:
+        """Fold a JSON-tier file's entries into the SQLite database."""
+        if self.migrate_json is None:
+            return
+        source = Path(self.migrate_json)
+        if not source.exists():
+            return
+        assert isinstance(self._tier, SQLiteDiskTier)
+        self._tier.seed(
+            {
+                key: (entry.spec_json, entry.cost, entry.metric, entry.epoch)
+                for key, entry in _load_json_entries(source).items()
+            }
+        )
 
     # -- lookup/store ----------------------------------------------------
 
     def lookup(self, key: str) -> CachedPlan | None:
         """The cached plan under *key*, or None; promotes disk hits."""
-        entry = self._memory.get(key)
-        if entry is not None:
-            self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
-            return self._hit(entry, "memory")
-        entry = self._disk.get(key)
-        if entry is not None:
-            self.stats.disk_hits += 1
-            self._admit(key, entry)
-            return self._hit(entry, "disk")
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self.stats.memory_hits += 1
+                return self._hit(entry, "memory")
+            if self._tier is not None:
+                row = self._tier.get(key)
+                if row is not None:
+                    entry = _Entry(*row)
+                    self.stats.disk_hits += 1
+                    self._admit(key, entry)
+                    return self._hit(entry, "disk")
+            self.stats.misses += 1
+            return None
 
     def store(self, key: str, spec: PlanSpec, cost: float, metric: str,
-              epoch: str) -> None:
-        """Record an optimized plan under *key* in both tiers."""
+              epoch: str, tenant: str | None = None) -> bool:
+        """Record an optimized plan under *key* in both tiers.
+
+        Returns False (and admits nothing, in either tier) when
+        *tenant* has exhausted its ``tenant_quota`` of distinct keys —
+        the caller's plan still executes, it just is not cached.
+        """
         entry = _Entry(
             spec_json=spec.to_json(), cost=cost, metric=metric, epoch=epoch
         )
-        self.stats.stores += 1
-        self._admit(key, entry)
-        if self.path is not None:
-            self._disk[key] = entry
-            self._flush(merge=True)
+        with self._lock:
+            if not self._admit_tenant(tenant, key):
+                self.stats.quota_rejections += 1
+                return False
+            self.stats.stores += 1
+            self._admit(key, entry)
+            if self._tier is not None:
+                self._tier.put(
+                    key, entry.spec_json, entry.cost, entry.metric, entry.epoch
+                )
+            return True
+
+    def _admit_tenant(self, tenant: str | None, key: str) -> bool:
+        """Quota check: may *tenant* store (another) distinct key?"""
+        if tenant is None or self.tenant_quota is None:
+            return True
+        keys = self._tenant_keys.setdefault(tenant, set())
+        if key in keys:
+            return True  # refreshing an admitted key is free
+        if len(keys) >= self.tenant_quota:
+            return False
+        keys.add(key)
+        return True
 
     def _hit(self, entry: _Entry, tier: str) -> CachedPlan:
         return CachedPlan(
@@ -198,89 +417,46 @@ class PlanCache:
         """Drop every entry not recorded under *epoch*; returns count.
 
         Purely housekeeping: stale entries are unreachable anyway
-        because the epoch participates in the key.
+        because the epoch participates in the key.  On the SQLite
+        backend this is a single indexed ``DELETE``.
         """
-        stale_memory = [
-            key for key, entry in self._memory.items() if entry.epoch != epoch
-        ]
-        for key in stale_memory:
-            del self._memory[key]
-        stale_disk = [
-            key for key, entry in self._disk.items() if entry.epoch != epoch
-        ]
-        for key in stale_disk:
-            del self._disk[key]
-        if stale_disk and self.path is not None:
-            self._flush()
-        return len(stale_memory) + len(set(stale_disk) - set(stale_memory))
+        with self._lock:
+            stale_memory = [
+                key
+                for key, entry in self._memory.items()
+                if entry.epoch != epoch
+            ]
+            for key in stale_memory:
+                del self._memory[key]
+            stale_disk: tuple[str, ...] = ()
+            if self._tier is not None:
+                stale_disk = self._tier.prune(epoch)
+            return len(stale_memory) + len(
+                set(stale_disk) - set(stale_memory)
+            )
 
     def clear(self) -> None:
-        """Drop both tiers (and the disk file's entries)."""
-        self._memory.clear()
-        if self._disk:
-            self._disk.clear()
-            if self.path is not None:
-                self._flush()
+        """Drop both tiers (and the persistent entries) and quotas."""
+        with self._lock:
+            self._memory.clear()
+            self._tenant_keys.clear()
+            if self._tier is not None:
+                self._tier.clear()
+
+    def close(self) -> None:
+        """Release disk-tier resources (SQLite connections)."""
+        with self._lock:
+            if self._tier is not None:
+                self._tier.close()
 
     @property
     def memory_entries(self) -> int:
         """Entries currently resident in the LRU tier."""
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     @property
     def disk_entries(self) -> int:
         """Entries currently resident in the disk tier."""
-        return len(self._disk)
-
-    # -- disk format -----------------------------------------------------
-
-    def _flush(self, merge: bool = False) -> None:
-        """Atomically rewrite the disk file from the disk-tier dict.
-
-        With ``merge``, entries another process persisted since our
-        last read are folded in first (our own keys win), so
-        sequentially interleaved writers accumulate instead of
-        clobbering.  ``prune``/``clear`` flush without merging —
-        removal must not resurrect what was just dropped.
-        """
-        assert self.path is not None
-        if merge and self.path.exists():
-            for key, entry in self._load(self.path).items():
-                self._disk.setdefault(key, entry)
-        payload = {
-            "version": _FORMAT_VERSION,
-            "entries": {
-                key: entry.to_dict() for key, entry in self._disk.items()
-            },
-        }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        handle, temp_name = tempfile.mkstemp(
-            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(handle, "w") as stream:
-                json.dump(payload, stream, sort_keys=True)
-            os.replace(temp_name, self.path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-
-    @staticmethod
-    def _load(path: Path) -> dict[str, _Entry]:
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return {}
-        if payload.get("version") != _FORMAT_VERSION:
-            return {}
-        entries = payload.get("entries", {})
-        loaded: dict[str, _Entry] = {}
-        for key, data in entries.items():
-            try:
-                loaded[key] = _Entry.from_dict(data)
-            except (KeyError, TypeError, ValueError):
-                continue  # skip individually corrupt rows
-        return loaded
+        with self._lock:
+            return len(self._tier) if self._tier is not None else 0

@@ -27,11 +27,31 @@ stored :class:`~repro.plans.spec.PlanSpec` and executes it against the
 shared caches; the produced rows, ranks, and order are bit-identical
 to a cold optimize+execute on a fresh service (the hypothesis suite in
 ``tests/test_serving.py`` enforces this differentially).
+
+**Concurrency contract**: one :class:`QueryService` may be driven by
+any number of client threads.  Shared state is guarded piecewise —
+the plan cache and its stats behind the cache's internal lock, the
+session registry behind the manager's lock, the shared service cache
+behind a :class:`~repro.execution.cache.ThreadSafeCache` wrapper, and
+the serving counters behind a stats lock — and plan resolution is
+**single-flight per key**: concurrent submissions of the same
+(query, context) serialize on a per-key mutex held across the whole
+lookup → optimize → store critical section, so the optimizer runs at
+most once per key per race and hit/miss accounting matches a
+sequential replay exactly.  Answers need no such argument: they are a
+pure function of (registry content, query, k) — logical caches change
+call counts, never tuples — so any interleaving is bit-identical to
+the sequential schedule (``tests/test_serving_concurrency.py`` and
+the serving bench's worker sweep pin both properties).  The lock
+order is plan cache → sessions → service cache; no code path acquires
+in the opposite direction, so the layer cannot deadlock (see
+``docs/ARCHITECTURE.md``, "Concurrent serving").
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -41,6 +61,7 @@ from repro.execution.cache import (
     CacheSetting,
     LogicalCache,
     OptimalCache,
+    ThreadSafeCache,
     make_cache,
 )
 from repro.execution.engine import ExecutionMode, ExecutionResult
@@ -56,7 +77,7 @@ from repro.serving.fingerprint import (
     query_fingerprint,
 )
 from repro.serving.plan_cache import PlanCache
-from repro.serving.sessions import SessionManager
+from repro.serving.sessions import SessionError, SessionManager
 from repro.services.registry import ServiceRegistry
 
 
@@ -117,7 +138,12 @@ class QueryResponse:
 
 @dataclass
 class ServingStats:
-    """Request-level accounting for one :class:`QueryService`."""
+    """Request-level accounting for one :class:`QueryService`.
+
+    Mutated only under the service's stats lock; read freely (every
+    field is a single int, and snapshots tolerate being one increment
+    behind a concurrent request).
+    """
 
     requests: int = 0
     continuations: int = 0
@@ -142,9 +168,14 @@ class QueryService:
 
     ``plan_cache`` may be shared between several services (a fleet of
     tenants over different registries): keys embed each registry's
-    content epoch, so entries never cross tenants.  ``mode`` defaults
-    to streamed execution so sessions suspend cheaply; any mode works
-    (answers are mode-independent by the engine's contract).
+    content epoch, so entries never cross tenants, and per-tenant
+    store quotas (``PlanCache(tenant_quota=...)``) keep one tenant
+    from flooding the shared store — this service tags its stores
+    with ``tenant_id`` (the registry epoch by default).  ``mode``
+    defaults to streamed execution so sessions suspend cheaply; any
+    mode works (answers are mode-independent by the engine's
+    contract).  All public methods are thread-safe (see the module
+    docstring for the locking structure).
     """
 
     registry: ServiceRegistry
@@ -163,14 +194,30 @@ class QueryService:
     #: for experiments, a leak for a long-lived server).  Eviction can
     #: only cost extra remote calls, never change answers.
     service_cache_capacity: int | None = None
+    #: Tenant tag for plan-cache store quotas; None uses the registry
+    #: content epoch (one quota bucket per registry content version).
+    tenant_id: str | None = None
     stats: ServingStats = field(default_factory=ServingStats)
 
     def __post_init__(self) -> None:
-        self._service_cache: LogicalCache | None = (
+        inner: LogicalCache | None = (
             make_cache(self.cache_setting, capacity=self.service_cache_capacity)
             if self.share_service_cache
             else None
         )
+        # The shared cache is hit by every serving thread (and by
+        # ParallelExecutor workers during prefetch), so it is always
+        # lock-wrapped; the wrapper is reused as-is by executors that
+        # would otherwise wrap it again.
+        self._service_cache: LogicalCache | None = (
+            ThreadSafeCache(inner) if inner is not None else None
+        )
+        self._stats_lock = threading.Lock()
+        # Single-flight for plan resolution: one mutex per plan-cache
+        # key, mirroring ThreadSafeCache.key_lock.  Bounded by the
+        # number of distinct keys this service ever resolves.
+        self._plan_locks: dict[str, threading.Lock] = {}
+        self._plan_locks_guard = threading.Lock()
 
     # -- the request surface --------------------------------------------
 
@@ -189,7 +236,8 @@ class QueryService:
         k = self.k_default if k is None else k
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        self.stats.requests += 1
+        with self._stats_lock:
+            self.stats.requests += 1
         plan, cost, provenance, fingerprint, epoch, annotate_calls = (
             self._resolve_plan(query, k)
         )
@@ -219,23 +267,31 @@ class QueryService:
         Raises :class:`~repro.serving.sessions.SessionError` when the
         session is unknown, expired, or released — the caller then
         re-submits (which is exactly one plan-cache hit away from the
-        continuation it lost).
+        continuation it lost).  Concurrent resumes of the *same*
+        session serialize on the session's lock (the suspended stream
+        is single-consumer); different sessions resume in parallel.
         """
         session = self.sessions.get(session_id)
-        assert session.executor is not None  # live sessions are open
-        self.stats.requests += 1
-        self.stats.continuations += 1
-        additional = self.k_default if additional is None else additional
-        rounds_before = len(session.executor.rounds)
-        result = session.executor.more(additional)
-        session.delivered = len(result.rows)
-        query = session.query
-        return self._respond(
-            session_id, query, result, session.delivered, "session",
-            None, query_fingerprint(query),
-            self.registry.content_epoch(), 0,
-            session.executor.rounds[rounds_before:],
-        )
+        with session.lock:
+            executor = session.executor
+            if executor is None:  # released between get() and here
+                raise SessionError(
+                    f"session {session_id!r} is unknown, expired, or released"
+                )
+            with self._stats_lock:
+                self.stats.requests += 1
+                self.stats.continuations += 1
+            additional = self.k_default if additional is None else additional
+            rounds_before = len(executor.rounds)
+            result = executor.more(additional)
+            session.delivered = len(result.rows)
+            query = session.query
+            return self._respond(
+                session_id, query, result, session.delivered, "session",
+                None, query_fingerprint(query),
+                self.registry.content_epoch(), 0,
+                executor.rounds[rounds_before:],
+            )
 
     def prefetch(
         self, query: ConjunctiveQuery | str, k: int | None = None,
@@ -251,17 +307,31 @@ class QueryService:
         cache only changes how often the remote side is called), they
         just start from a hot cache.  No session is opened and no rows
         are returned; the summary dict reports what the warm-up did.
-        Degrades to a no-op-ish dry run when the service was built with
-        ``share_service_cache=False`` (there is no shared state to
-        warm).
+
+        With ``share_service_cache=False`` there is no shared state to
+        warm, so the warm-up **short-circuits after plan resolution**:
+        the plan cache still benefits, but nothing is executed and no
+        service is called (``"skipped": True`` in the summary).
         """
         if isinstance(query, str):
             query = parse_query(query)
         k = self.k_default if k is None else k
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        self.stats.prefetches += 1
+        with self._stats_lock:
+            self.stats.prefetches += 1
         plan, _, provenance, _, _, _ = self._resolve_plan(query, k)
+        if self._service_cache is None:
+            return {
+                "provenance": provenance,
+                "shared": False,
+                "skipped": True,
+                "workers": 0,
+                "wall_time_s": 0.0,
+                "service_calls": 0,
+                "cache_hits": 0,
+                "answers_available": 0,
+            }
         executor = ParallelExecutor(
             self.registry,
             cache_setting=self.cache_setting,
@@ -276,7 +346,8 @@ class QueryService:
         )
         return {
             "provenance": provenance,
-            "shared": self._service_cache is not None,
+            "shared": True,
+            "skipped": False,
             "workers": result.stats.parallel_workers,
             "wall_time_s": round(result.stats.wall_time, 6),
             "service_calls": result.stats.total_calls,
@@ -290,23 +361,40 @@ class QueryService:
 
     def snapshot(self) -> dict:
         """JSON-serializable state of the whole serving layer."""
+        with self._stats_lock:
+            serving = self.stats.to_dict()
         state = {
-            "serving": self.stats.to_dict(),
+            "serving": serving,
             "plan_cache": self.plan_cache.stats.to_dict(),
             "sessions": {
                 "active": len(self.sessions),
                 **self.sessions.stats.to_dict(),
             },
         }
-        if isinstance(self._service_cache, OptimalCache):
-            state["service_cache"] = {
-                "entries": len(self._service_cache),
-                "capacity": self._service_cache.capacity,
-                "evictions": self._service_cache.evictions,
-            }
+        cache = self._service_cache
+        if cache is not None:
+            # The shared cache is lock-wrapped; report the *inner*
+            # cache so wrapping never silently drops the section.
+            inner = cache.inner if isinstance(cache, ThreadSafeCache) else cache
+            section: dict = {"type": type(inner).__name__}
+            if isinstance(inner, OptimalCache):
+                section.update(
+                    entries=len(inner),
+                    capacity=inner.capacity,
+                    evictions=inner.evictions,
+                )
+            state["service_cache"] = section
         return state
 
     # -- internals -------------------------------------------------------
+
+    def _plan_lock(self, key: str) -> threading.Lock:
+        """The single-flight mutex for one plan-cache key."""
+        with self._plan_locks_guard:
+            lock = self._plan_locks.get(key)
+            if lock is None:
+                lock = self._plan_locks[key] = threading.Lock()
+            return lock
 
     def _resolve_plan(
         self, query: ConjunctiveQuery, k: int
@@ -316,6 +404,14 @@ class QueryService:
         Returns ``(plan, cost, provenance, fingerprint, epoch,
         annotate_calls)`` — the request-independent half of
         :meth:`submit`, shared with :meth:`prefetch`.
+
+        The per-key mutex is held across the whole lookup → optimize →
+        store window, so of N threads racing a cold key exactly one
+        optimizes and stores while the other N-1 block and then hit
+        the just-stored entry — ``optimizer_runs`` and plan-cache
+        hit/miss/store counts match a sequential replay under any
+        schedule.  Plan *building* (spec → fresh plan objects) happens
+        outside the mutex: it touches no shared mutable state.
         """
         fingerprint = query_fingerprint(query)
         epoch = self.registry.content_epoch()
@@ -329,25 +425,31 @@ class QueryService:
             self.cache_setting.value, optimizer_config_token(config),
         )
         annotate_calls = 0
-        hit = self.plan_cache.lookup(key)
-        if hit is not None:
-            plan = hit.spec.build(query, self.registry)
-            cost = hit.cost
-            provenance = hit.tier
-        else:
-            optimized = Optimizer(self.registry, self.metric, config).optimize(
-                query
-            )
-            plan = optimized.plan
-            cost = optimized.cost
-            provenance = "optimized"
-            annotate_calls = optimized.stats.annotate_calls
-            self.stats.optimizer_runs += 1
-            self.stats.optimizer_annotate_calls += annotate_calls
-            self.plan_cache.store(
-                key, PlanSpec.from_optimized(optimized), cost,
-                self.metric.name, epoch,
-            )
+        plan = None
+        with self._plan_lock(key):
+            hit = self.plan_cache.lookup(key)
+            if hit is not None:
+                spec = hit.spec
+                cost = hit.cost
+                provenance = hit.tier
+            else:
+                optimized = Optimizer(
+                    self.registry, self.metric, config
+                ).optimize(query)
+                plan = optimized.plan
+                cost = optimized.cost
+                provenance = "optimized"
+                annotate_calls = optimized.stats.annotate_calls
+                with self._stats_lock:
+                    self.stats.optimizer_runs += 1
+                    self.stats.optimizer_annotate_calls += annotate_calls
+                self.plan_cache.store(
+                    key, PlanSpec.from_optimized(optimized), cost,
+                    self.metric.name, epoch,
+                    tenant=self.tenant_id or epoch,
+                )
+        if plan is None:
+            plan = spec.build(query, self.registry)
         return plan, cost, provenance, fingerprint, epoch, annotate_calls
 
     def _respond(

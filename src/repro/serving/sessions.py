@@ -20,10 +20,22 @@ reference immediately (no finalizer involvement), so the suspended
 stream, its cursors, and their fetched pages become collectable the
 moment the session ends, and a closed session can never resume.  The
 clock is injectable, so tests drive TTL expiry without sleeping.
+
+**Thread safety.**  The manager's registry (the session dict, the id
+counter, the lifecycle stats) is guarded by one internal lock, so
+create/get/release/sweep can race freely across serving threads.  The
+*continuation itself* is not shareable: a ``ProgressiveExecutor``
+resume mutates cursor state, so each :class:`Session` carries its own
+``lock`` and the serving layer holds it across a resume — two
+``ask_for_more`` calls on the same session serialize, while resumes of
+different sessions proceed in parallel.  A release that races with an
+in-flight resume linearizes after it: the resume completes on its
+local executor reference, and the session is gone afterwards.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -65,6 +77,10 @@ class Session:
     created_at: float
     touched_at: float
     delivered: int = 0
+    #: Serializes resumes of this one continuation (see module doc).
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def closed(self) -> bool:
@@ -92,73 +108,82 @@ class SessionManager:
             raise ValueError(f"ttl must be positive, got {self.ttl}")
         self._sessions: dict[str, Session] = {}
         self._counter = 0
+        # Re-entrant: create/get call sweep/active_ids internally.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
     @property
     def active_ids(self) -> tuple[str, ...]:
         """Ids of live sessions, least recently touched first."""
-        ordered = sorted(
-            self._sessions.values(), key=lambda s: (s.touched_at, s.session_id)
-        )
-        return tuple(session.session_id for session in ordered)
+        with self._lock:
+            ordered = sorted(
+                self._sessions.values(),
+                key=lambda s: (s.touched_at, s.session_id),
+            )
+            return tuple(session.session_id for session in ordered)
 
     def create(
         self, query: ConjunctiveQuery, executor: ProgressiveExecutor,
         delivered: int = 0,
     ) -> Session:
         """Register a new session, evicting to stay within capacity."""
-        self.sweep()
-        while len(self._sessions) >= self.capacity:
-            oldest = self.active_ids[0]
-            self._sessions.pop(oldest).close()
-            self.stats.evicted += 1
-        self._counter += 1
-        now = self.clock()
-        session = Session(
-            session_id=f"s{self._counter:06d}",
-            query=query,
-            executor=executor,
-            created_at=now,
-            touched_at=now,
-            delivered=delivered,
-        )
-        self._sessions[session.session_id] = session
-        self.stats.created += 1
-        return session
+        with self._lock:
+            self.sweep()
+            while len(self._sessions) >= self.capacity:
+                oldest = self.active_ids[0]
+                self._sessions.pop(oldest).close()
+                self.stats.evicted += 1
+            self._counter += 1
+            now = self.clock()
+            session = Session(
+                session_id=f"s{self._counter:06d}",
+                query=query,
+                executor=executor,
+                created_at=now,
+                touched_at=now,
+                delivered=delivered,
+            )
+            self._sessions[session.session_id] = session
+            self.stats.created += 1
+            return session
 
     def get(self, session_id: str) -> Session:
         """The live session *session_id*, touched; raises when gone."""
-        self.sweep()
-        session = self._sessions.get(session_id)
-        if session is None:
-            raise SessionError(
-                f"session {session_id!r} is unknown, expired, or released"
-            )
-        session.touched_at = self.clock()
-        return session
+        with self._lock:
+            self.sweep()
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise SessionError(
+                    f"session {session_id!r} is unknown, expired, or released"
+                )
+            session.touched_at = self.clock()
+            return session
 
     def release(self, session_id: str) -> bool:
         """Explicitly close and drop a session; False when unknown."""
-        session = self._sessions.pop(session_id, None)
-        if session is None:
-            return False
-        session.close()
-        self.stats.released += 1
-        return True
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+            if session is None:
+                return False
+            session.close()
+            self.stats.released += 1
+            return True
 
     def sweep(self) -> tuple[str, ...]:
         """Expire every session idle beyond the TTL; returns their ids."""
-        if self.ttl is None:
-            return ()
-        deadline = self.clock() - self.ttl
-        expired = [
-            session_id
-            for session_id, session in self._sessions.items()
-            if session.touched_at <= deadline
-        ]
-        for session_id in expired:
-            self._sessions.pop(session_id).close()
-            self.stats.expired += 1
-        return tuple(expired)
+        with self._lock:
+            if self.ttl is None:
+                return ()
+            deadline = self.clock() - self.ttl
+            expired = [
+                session_id
+                for session_id, session in self._sessions.items()
+                if session.touched_at <= deadline
+            ]
+            for session_id in expired:
+                self._sessions.pop(session_id).close()
+                self.stats.expired += 1
+            return tuple(expired)

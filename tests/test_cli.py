@@ -89,6 +89,48 @@ class TestQueryCommand:
         assert second["provenance"] == "disk"
         assert second["rows"] == first["rows"]
 
+    def test_sqlite_plan_cache_selected_by_suffix(self, capsys, tmp_path):
+        # A .sqlite suffix picks the WAL-mode SQLite tier without any
+        # backend flag, and a second process starts warm from it.
+        import json
+        import sqlite3
+
+        cache_path = str(tmp_path / "plans.sqlite")
+        query = (
+            "q(City, Price) :- lowcost('Milano', City, Date, Price), "
+            "Price <= 60."
+        )
+        assert main(
+            ["query", query, "--domain", "weekend", "-k", "2",
+             "--plan-cache", cache_path]
+        ) == 0
+        first = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert first["provenance"] == "optimized"
+        with sqlite3.connect(cache_path) as db:
+            assert db.execute("SELECT COUNT(*) FROM plans").fetchone()[0] == 1
+        assert main(
+            ["query", query, "--domain", "weekend", "-k", "2",
+             "--plan-cache", cache_path]
+        ) == 0
+        second = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert second["provenance"] == "disk"
+        assert second["rows"] == first["rows"]
+
+    def test_explicit_backend_flag_overrides_suffix(self, capsys, tmp_path):
+        import json
+        import sqlite3
+
+        cache_path = str(tmp_path / "plans.cache")  # neutral suffix
+        query = "q(City) :- lowcost('Milano', City, Date, Price)."
+        assert main(
+            ["query", query, "--domain", "weekend", "-k", "1",
+             "--plan-cache", cache_path,
+             "--plan-cache-backend", "sqlite"]
+        ) == 0
+        json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        with sqlite3.connect(cache_path) as db:
+            assert db.execute("SELECT COUNT(*) FROM plans").fetchone()[0] == 1
+
 
 class TestServeCommand:
     def test_serve_loop(self, capsys, monkeypatch):

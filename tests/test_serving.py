@@ -91,10 +91,12 @@ class TestPlanCache:
         assert cache.lookup("a") is None
         assert cache.memory_entries == 0
 
-    def test_disk_tier_survives_a_new_cache_instance(self, tmp_path):
-        path = tmp_path / "plans.json"
+    @pytest.mark.parametrize("suffix", ["json", "sqlite"])
+    def test_disk_tier_survives_a_new_cache_instance(self, tmp_path, suffix):
+        path = tmp_path / f"plans.{suffix}"
         spec = _spec(("io",), (), ((0, 2),))
         writer = PlanCache(path=path)
+        assert writer.backend_name == suffix
         writer.store("key", spec, 7.0, "requests", "epoch")
         reader = PlanCache(path=path)
         hit = reader.lookup("key")
@@ -118,16 +120,18 @@ class TestPlanCache:
         assert fresh.lookup("k1") is not None
         assert fresh.lookup("k2") is not None
 
-    def test_corrupt_disk_file_is_ignored(self, tmp_path):
-        path = tmp_path / "plans.json"
-        path.write_text("{not json")
+    @pytest.mark.parametrize("suffix", ["json", "sqlite"])
+    def test_corrupt_disk_file_is_ignored(self, tmp_path, suffix):
+        path = tmp_path / f"plans.{suffix}"
+        path.write_text("{not json, and certainly not a database")
         cache = PlanCache(path=path)
         assert cache.disk_entries == 0
         cache.store("key", _spec(), 1.0, "time", "e")
         assert PlanCache(path=path).lookup("key") is not None
 
-    def test_prune_drops_stale_epochs(self, tmp_path):
-        path = tmp_path / "plans.json"
+    @pytest.mark.parametrize("suffix", ["json", "sqlite"])
+    def test_prune_drops_stale_epochs(self, tmp_path, suffix):
+        path = tmp_path / f"plans.{suffix}"
         cache = PlanCache(path=path)
         cache.store("old", _spec(), 1.0, "time", "epoch1")
         cache.store("new", _spec(), 2.0, "time", "epoch2")
@@ -135,6 +139,156 @@ class TestPlanCache:
         assert cache.lookup("old") is None
         assert cache.lookup("new") is not None
         assert PlanCache(path=path).disk_entries == 1
+
+
+# -- SQLite disk tier -------------------------------------------------------
+
+
+class TestSQLiteTier:
+    """The WAL-mode backend: explicit selection, siblings, migration,
+    and a seeded differential pinning it bit-identical to the JSON
+    tier (same CachedPlans, same stats, same prune counts)."""
+
+    def test_explicit_backend_overrides_suffix(self, tmp_path):
+        cache = PlanCache(path=tmp_path / "plans.cache", backend="sqlite")
+        assert cache.backend_name == "sqlite"
+        cache.store("key", _spec(), 1.0, "time", "e")
+        reader = PlanCache(path=tmp_path / "plans.cache", backend="sqlite")
+        assert reader.lookup("key") is not None
+        # The file really is a SQLite database in WAL mode.
+        import sqlite3
+
+        connection = sqlite3.connect(tmp_path / "plans.cache")
+        assert connection.execute(
+            "PRAGMA journal_mode"
+        ).fetchone()[0] == "wal"
+        connection.close()
+
+    def test_sibling_instances_accumulate_without_clobbering(self, tmp_path):
+        path = tmp_path / "plans.sqlite"
+        # Both "processes" open the store before either writes — the
+        # scenario the JSON tier only survives sequentially.
+        writer_a = PlanCache(path=path)
+        writer_b = PlanCache(path=path)
+        writer_a.store("k1", _spec(("io",)), 1.0, "time", "e")
+        writer_b.store("k2", _spec(("oi",)), 2.0, "time", "e")
+        fresh = PlanCache(path=path)
+        assert fresh.lookup("k1") is not None
+        assert fresh.lookup("k2") is not None
+        assert fresh.disk_entries == 2
+
+    def test_migrate_json_imports_entries_database_rows_win(self, tmp_path):
+        json_path = tmp_path / "plans.json"
+        old = PlanCache(path=json_path)
+        old.store("migrated", _spec(("io",)), 1.0, "time", "e1")
+        old.store("shared", _spec(("io",)), 1.0, "time", "e1")
+        sqlite_path = tmp_path / "plans.sqlite"
+        newer = PlanCache(path=sqlite_path)
+        newer.store("shared", _spec(("oi",)), 9.0, "time", "e2")
+        migrated = PlanCache(path=sqlite_path, migrate_json=json_path)
+        hit = migrated.lookup("migrated")
+        assert hit is not None and hit.epoch == "e1"
+        kept = migrated.lookup("shared")  # existing database row wins
+        assert kept.cost == 9.0 and kept.epoch == "e2"
+        assert migrated.disk_entries == 2
+
+    def test_missing_migration_file_is_ignored(self, tmp_path):
+        cache = PlanCache(
+            path=tmp_path / "plans.sqlite",
+            migrate_json=tmp_path / "absent.json",
+        )
+        assert cache.disk_entries == 0
+
+    def test_json_and_sqlite_tiers_are_bit_identical(self, tmp_path):
+        """Differential oracle: a seeded random op sequence driven
+        against both backends produces identical CachedPlans, stats,
+        prune counts, and entry sets."""
+        import random
+
+        for seed in (1, 7, 20080824):
+            rng = random.Random(seed)
+            caches = {
+                "json": PlanCache(path=tmp_path / f"d{seed}.json"),
+                "sqlite": PlanCache(path=tmp_path / f"d{seed}.sqlite"),
+            }
+            keys = [f"key{i}" for i in range(6)]
+            epochs = ["e1", "e2"]
+            for _ in range(120):
+                op = rng.choice(("store", "lookup", "lookup", "prune"))
+                key = rng.choice(keys)
+                if op == "store":
+                    spec = _spec((rng.choice(("io", "oi")),))
+                    args = (key, spec, rng.randint(1, 9) / 2.0, "time",
+                            rng.choice(epochs))
+                    assert (caches["json"].store(*args)
+                            == caches["sqlite"].store(*args))
+                elif op == "lookup":
+                    hits = {
+                        name: cache.lookup(key)
+                        for name, cache in caches.items()
+                    }
+                    assert (hits["json"] is None) == (hits["sqlite"] is None)
+                    if hits["json"] is not None:
+                        assert hits["json"] == hits["sqlite"]
+                else:
+                    epoch = rng.choice(epochs)
+                    assert (caches["json"].prune(epoch)
+                            == caches["sqlite"].prune(epoch))
+            assert (caches["json"].stats.to_dict()
+                    == caches["sqlite"].stats.to_dict())
+            assert (caches["json"]._tier.keys()
+                    == caches["sqlite"]._tier.keys())
+            # And both survive a restart with the same visible state.
+            restarted = {
+                name: PlanCache(path=cache.path)
+                for name, cache in caches.items()
+            }
+            for key in keys:
+                hits = {
+                    name: cache.lookup(key)
+                    for name, cache in restarted.items()
+                }
+                assert hits["json"] == hits["sqlite"]
+
+
+# -- Per-tenant store quotas ------------------------------------------------
+
+
+class TestTenantQuota:
+    def test_quota_bounds_distinct_keys_per_tenant(self):
+        cache = PlanCache(tenant_quota=2)
+        assert cache.store("a", _spec(), 1.0, "time", "e", tenant="A")
+        assert cache.store("b", _spec(), 1.0, "time", "e", tenant="A")
+        assert not cache.store("c", _spec(), 1.0, "time", "e", tenant="A")
+        # Refreshing an admitted key is not a new admission.
+        assert cache.store("a", _spec(("oi",)), 2.0, "time", "e", tenant="A")
+        # Another tenant has its own budget.
+        assert cache.store("c", _spec(), 1.0, "time", "e", tenant="B")
+        assert cache.stats.quota_rejections == 1
+        assert cache.lookup("c") is not None  # B's store was admitted
+
+    def test_untenanted_stores_bypass_the_quota(self):
+        cache = PlanCache(tenant_quota=1)
+        assert cache.store("a", _spec(), 1.0, "time", "e")
+        assert cache.store("b", _spec(), 1.0, "time", "e")
+        assert cache.stats.quota_rejections == 0
+
+    def test_rejected_store_costs_reoptimization_not_correctness(self):
+        """A QueryService over a quota-0 shared plan cache keeps
+        answering correctly — every submit just re-optimizes."""
+        cache = PlanCache(tenant_quota=0)
+        service = QueryService(
+            registry=weekend_registry(), k_default=3, plan_cache=cache
+        )
+        query = mahler_weekend_query()
+        first = service.submit(query)
+        second = service.submit(query)
+        assert first.provenance == "optimized"
+        assert second.provenance == "optimized"  # nothing was cached
+        assert _answer_signature(first) == _answer_signature(second)
+        assert service.stats.optimizer_runs == 2
+        assert cache.stats.quota_rejections == 2
+        assert cache.stats.stores == 0
 
 
 # -- SessionManager ---------------------------------------------------------
@@ -375,6 +529,77 @@ class TestQueryService:
         json.loads(
             json.dumps(service.snapshot())
         )  # the snapshot round-trips too
+
+
+class TestSnapshotAndPrefetchRegressions:
+    """The serving-layer bug batch: snapshot must survive cache
+    wrapping, and prefetch must not execute without a shared cache."""
+
+    def test_snapshot_reports_the_wrapped_service_cache(self):
+        # The shared cache is ThreadSafeCache-wrapped since the
+        # thread-safety change; the snapshot used to gate on
+        # `isinstance(_service_cache, OptimalCache)` and silently
+        # dropped the section for any wrapper.
+        from repro.execution.cache import ThreadSafeCache
+
+        service = QueryService(
+            registry=weekend_registry(), k_default=3,
+            service_cache_capacity=8,
+        )
+        assert isinstance(service._service_cache, ThreadSafeCache)
+        service.submit(mahler_weekend_query())
+        section = service.snapshot()["service_cache"]
+        assert section["type"] == "OptimalCache"
+        assert section["entries"] > 0
+        assert section["capacity"] == 8
+        assert section["evictions"] >= 0
+
+    def test_snapshot_reports_non_optimal_caches_too(self):
+        from repro.execution.cache import CacheSetting
+
+        service = QueryService(
+            registry=weekend_registry(), k_default=3,
+            cache_setting=CacheSetting.ONE_CALL,
+        )
+        service.submit(mahler_weekend_query())
+        section = service.snapshot()["service_cache"]
+        assert section["type"] == "OneCallCache"
+        assert "entries" not in section  # no size surface to report
+
+    def test_snapshot_has_no_section_without_a_shared_cache(self):
+        service = QueryService(
+            registry=weekend_registry(), k_default=3,
+            share_service_cache=False,
+        )
+        service.submit(mahler_weekend_query())
+        assert "service_cache" not in service.snapshot()
+
+    def test_prefetch_without_shared_cache_skips_execution(self):
+        service = QueryService(
+            registry=weekend_registry(), k_default=3,
+            share_service_cache=False,
+        )
+        summary = service.prefetch(mahler_weekend_query())
+        assert summary["skipped"] is True
+        assert summary["shared"] is False
+        assert summary["service_calls"] == 0
+        assert summary["answers_available"] == 0
+        assert summary["workers"] == 0
+        assert service.stats.prefetches == 1
+        # The plan cache was still warmed by the plan resolution.
+        assert summary["provenance"] == "optimized"
+        assert service.submit(mahler_weekend_query()).provenance == "memory"
+
+    def test_prefetch_with_shared_cache_still_executes_and_warms(self):
+        service = QueryService(registry=weekend_registry(), k_default=3)
+        summary = service.prefetch(mahler_weekend_query())
+        assert summary["skipped"] is False
+        assert summary["shared"] is True
+        assert summary["service_calls"] > 0
+        # A later submit rides the warmed shared cache: zero calls.
+        response = service.submit(mahler_weekend_query())
+        assert response.provenance == "memory"
+        assert response.stats["service_calls"] == 0
 
 
 class TestServingDifferential:
