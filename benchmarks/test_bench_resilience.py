@@ -1,0 +1,259 @@
+"""Resilience trajectory (``BENCH_resilience.json``).
+
+Sweeps the resilience layer (:mod:`repro.execution.resilience`) over a
+fault-rate × retry-policy grid on the paper's two-search-services
+shape, with partial-results mode on and an attempt-aware fault
+schedule (re-attempts draw independently, so retries *can* recover a
+failed page — the regime the layer exists for).  Per cell, across
+seeded worlds:
+
+* **success rate** — the fraction of worlds whose answers are
+  bit-identical to the fault-free oracle's top-k;
+* **graceful degradation** — mean answers returned and mean demoted
+  blocks when the run is partial;
+* **wasted work** — discarded round trips (failed attempts), which by
+  design never enter the per-service accounting;
+* **time-to-k** — mean virtual completion time (backoff is charged to
+  the winning fetch's latency).
+
+A second sweep measures hedging against straggling remotes: every
+delayed page pull is duplicated once the reported latency crosses the
+threshold, and on a remote-caching service the duplicate wins at the
+fast repeat latency — virtual time-to-k drops while rows and the
+per-service accounting stay bit-identical.
+
+Acceptance (asserted on every sampled world):
+
+* whenever the answers differ from the oracle's, the certificate is
+  partial and names at least one dropped unit — honest degradation,
+  never silent;
+* at fault rate 0 every cell succeeds with zero wasted fetches;
+* per fault rate, aggregate success never decreases with more
+  attempts.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+import pytest
+from _bench_env import QUICK, bench_out_name, bench_scale
+
+from repro.execution.engine import ExecutionEngine, ExecutionMode
+from repro.execution.resilience import (
+    HedgePolicy,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.model.atoms import Atom
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import signature
+from repro.model.terms import Constant, Variable
+from repro.plans.builder import PlanBuilder, Poset
+from repro.services.profile import search_profile
+from repro.services.registry import JoinMethod, ServiceRegistry
+from repro.services.table import TableSearchService
+from repro.testing import FaultSchedule, wrap_registry_flaky
+
+pytestmark = pytest.mark.bench
+
+SIDE = bench_scale(120, 30)
+CHUNK = 5
+FETCHES = -(-SIDE // CHUNK)
+K = bench_scale(40, 12)
+SEEDS = bench_scale(20, 5)
+FAULT_RATES = (0.0, 0.1, 0.3)
+ATTEMPT_CAPS = (1, 2, 4)  # retries 0 / 1 / 3
+DELAY_RATES = (0.0, 0.5, 1.0)
+HEDGE_THRESHOLD = 4.0
+
+
+def _plan(remote_caching=False):
+    """The paper's two-search-services shape (rank = position)."""
+    registry = ServiceRegistry()
+    for name, var in (("lefts", "L"), ("rights", "R")):
+        registry.register(
+            TableSearchService(
+                signature(name, ["Q", "K", var], ["ioo"]),
+                search_profile(chunk_size=CHUNK, response_time=1.0),
+                [("q", index % 3, index) for index in range(SIDE)],
+                score=lambda row: float(-row[2]),
+                remote_caching=remote_caching,
+            )
+        )
+    registry.register_join_method("lefts", "rights", JoinMethod.MERGE_SCAN)
+    key, left_var, right_var = Variable("K"), Variable("L"), Variable("R")
+    query = ConjunctiveQuery(
+        name="resiliencebench",
+        head=(key, left_var, right_var),
+        atoms=(
+            Atom("lefts", (Constant("q"), key, left_var)),
+            Atom("rights", (Constant("q"), key, right_var)),
+        ),
+        predicates=(),
+    )
+    plan = PlanBuilder(query, registry).build(
+        (
+            registry.signature("lefts").pattern("ioo"),
+            registry.signature("rights").pattern("ioo"),
+        ),
+        Poset(n=2),
+        fetches={0: FETCHES, 1: FETCHES},
+    )
+    return registry, tuple(query.head), plan
+
+
+def _sig(rows):
+    """Registry-independent row signature (rank labels are local ids)."""
+    return [
+        (dict(r.bindings), tuple(rank for _, rank in r.ranks)) for r in rows
+    ]
+
+
+class TestResilienceTrajectory:
+    def test_write_bench_resilience(self, out_dir):
+        oracle_registry, head, oracle_plan = _plan()
+        oracle = ExecutionEngine(
+            oracle_registry, mode=ExecutionMode.STREAMED
+        ).execute(oracle_plan, head=head, k=K)
+        oracle_sig = _sig(oracle.rows)
+
+        grid: dict[str, dict] = {}
+        success_by_cell: dict[tuple[float, int], float] = {}
+        for rate in FAULT_RATES:
+            by_attempts: dict[str, dict] = {}
+            for attempts in ATTEMPT_CAPS:
+                config = ResilienceConfig(
+                    retry=RetryPolicy(attempts=attempts),
+                    partial_results=True,
+                )
+                successes = 0
+                answers, demoted, wasted, elapsed, wall = [], [], [], [], []
+                for seed in range(SEEDS):
+                    registry, head, plan = _plan()
+                    wrap_registry_flaky(
+                        registry, FaultSchedule(seed=seed, fail_rate=rate),
+                        attempt_aware=True,
+                    )
+                    engine = ExecutionEngine(
+                        registry,
+                        mode=ExecutionMode.STREAMED,
+                        resilience=config,
+                    )
+                    start = time.perf_counter()
+                    result = engine.execute(plan, head=head, k=K)
+                    wall.append(time.perf_counter() - start)
+                    certificate = result.certificate
+                    assert certificate is not None
+                    exact = _sig(result.rows) == oracle_sig
+                    if exact:
+                        successes += 1
+                    else:
+                        # Honest degradation: a diverging answer always
+                        # names what it dropped — never a silent loss.
+                        assert certificate.is_partial, (rate, attempts, seed)
+                        assert certificate.dropped_services, (
+                            rate, attempts, seed,
+                        )
+                    answers.append(len(result.rows))
+                    demoted.append(len(certificate.dropped))
+                    wasted.append(result.stats.wasted_fetches)
+                    elapsed.append(result.stats.elapsed)
+                success_rate = successes / SEEDS
+                success_by_cell[(rate, attempts)] = success_rate
+                if rate == 0.0:
+                    assert success_rate == 1.0
+                    assert sum(wasted) == 0
+                by_attempts[f"attempts={attempts}"] = {
+                    "success_rate": success_rate,
+                    "mean_answers": statistics.mean(answers),
+                    "mean_demoted_blocks": statistics.mean(demoted),
+                    "mean_wasted_fetches": statistics.mean(wasted),
+                    "mean_time_to_k_virtual_s": round(
+                        statistics.mean(elapsed), 4
+                    ),
+                    "mean_wall_s": round(statistics.mean(wall), 6),
+                }
+            grid[f"fail_rate={rate}"] = by_attempts
+
+        # More attempts never hurt aggregate success at any fault rate.
+        for rate in FAULT_RATES:
+            rates = [success_by_cell[(rate, a)] for a in ATTEMPT_CAPS]
+            assert rates == sorted(rates), (rate, rates)
+
+        hedging: dict[str, dict] = {}
+        for delay_rate in DELAY_RATES:
+            cell: dict[str, dict] = {}
+            baseline_sig = None
+            baseline_elapsed = None
+            for hedged in (False, True):
+                registry, head, plan = _plan(remote_caching=True)
+                wrap_registry_flaky(
+                    registry, FaultSchedule(seed=1, delay_rate=delay_rate)
+                )
+                config = (
+                    ResilienceConfig(
+                        hedge=HedgePolicy(threshold=HEDGE_THRESHOLD)
+                    )
+                    if hedged
+                    else None
+                )
+                result = ExecutionEngine(
+                    registry, mode=ExecutionMode.STREAMED, resilience=config
+                ).execute(plan, head=head, k=K)
+                if hedged:
+                    # Rows never move; only straggler latency does.
+                    assert _sig(result.rows) == baseline_sig
+                    assert result.stats.elapsed <= baseline_elapsed
+                else:
+                    baseline_sig = _sig(result.rows)
+                    baseline_elapsed = result.stats.elapsed
+                cell["hedged" if hedged else "unhedged"] = {
+                    "elapsed_virtual_s": round(result.stats.elapsed, 4),
+                    "hedged_pulls": result.stats.hedged_pulls,
+                    "hedged_wins": result.stats.hedged_wins,
+                    "wasted_fetches": result.stats.wasted_fetches,
+                }
+            hedging[f"delay_rate={delay_rate}"] = cell
+
+        payload = {
+            "bench": "resilience",
+            "quick": QUICK,
+            "workload": {
+                "plane": f"{SIDE}x{SIDE} pair plan, chunk={CHUNK}, "
+                f"k={K}, {SEEDS} seeded worlds per cell",
+                "fault_rates": list(FAULT_RATES),
+                "attempt_caps": list(ATTEMPT_CAPS),
+                "mode": "STREAMED lazy top-k, partial_results=True, "
+                "attempt-aware schedule (re-attempts draw independently)",
+            },
+            "retry_grid": grid,
+            "hedging": {
+                "workload": "same pair plan over remote-caching services; "
+                f"delay faults multiply latency x25, threshold="
+                f"{HEDGE_THRESHOLD}s",
+                "per_delay_rate": hedging,
+            },
+        }
+        (out_dir / bench_out_name("BENCH_resilience.json")).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+
+    def test_bench_retry_recovery_top_10(self, benchmark):
+        registry, head, plan = _plan()
+        wrap_registry_flaky(
+            registry, FaultSchedule(seed=3, fail_rate=0.2),
+            attempt_aware=True,
+        )
+        engine = ExecutionEngine(
+            registry,
+            mode=ExecutionMode.STREAMED,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(attempts=8), partial_results=True
+            ),
+        )
+        result = benchmark(lambda: engine.execute(plan, head=head, k=K))
+        assert result.certificate is not None
+        assert len(result.rows) == K

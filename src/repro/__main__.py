@@ -90,6 +90,26 @@ def _optimize_and_run(registry, query, metric_name: str, k: int,
     return 0
 
 
+def _resilience_config(args):
+    """A ResilienceConfig from the CLI flags; None when all are off."""
+    retries = getattr(args, "retries", 0)
+    hedge = getattr(args, "hedge", None)
+    partial = getattr(args, "partial_results", False)
+    if not retries and hedge is None and not partial:
+        return None
+    from repro.execution.resilience import (
+        HedgePolicy,
+        ResilienceConfig,
+        RetryPolicy,
+    )
+
+    return ResilienceConfig(
+        retry=RetryPolicy(attempts=retries + 1) if retries else None,
+        hedge=HedgePolicy(threshold=hedge) if hedge is not None else None,
+        partial_results=partial,
+    )
+
+
 def _make_query_service(args):
     from repro.serving import PlanCache, QueryService
 
@@ -103,6 +123,7 @@ def _make_query_service(args):
         metric=_METRICS[args.metric](),
         k_default=args.k,
         plan_cache=plan_cache,
+        resilience=_resilience_config(args),
     )
     return service, showcase
 
@@ -149,6 +170,26 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _add_resilience_flags(parser) -> None:
+    """The serving commands' resilience flags (query + serve)."""
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a transiently failed page pull up to N times "
+        "(deterministic seeded backoff charged to virtual time)",
+    )
+    parser.add_argument(
+        "--hedge", type=float, default=None, metavar="SECONDS",
+        help="duplicate page pulls slower than this virtual latency; "
+        "first sound response wins, the loser is discarded uncounted",
+    )
+    parser.add_argument(
+        "--partial-results", action="store_true",
+        help="when retries are exhausted, drop the unresponsive "
+        "service block and answer over the rest, attaching a "
+        "certificate naming every dropped unit",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -189,6 +230,7 @@ def main(argv: list[str] | None = None) -> int:
     qry.add_argument("--plan-cache-backend", default="auto",
                      choices=("auto", "json", "sqlite"),
                      help="disk tier for --plan-cache (auto: by suffix)")
+    _add_resilience_flags(qry)
 
     srv = sub.add_parser(
         "serve", help="line-oriented query server on stdin/stdout"
@@ -202,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--plan-cache-backend", default="auto",
                      choices=("auto", "json", "sqlite"),
                      help="disk tier for --plan-cache (auto: by suffix)")
+    _add_resilience_flags(srv)
 
     args = parser.parse_args(argv)
 

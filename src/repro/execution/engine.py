@@ -60,7 +60,19 @@ from typing import Mapping, Sequence
 
 from repro.execution.cache import CacheSetting, LogicalCache, make_cache
 from repro.execution.joins import JoinStream, execute_join_hashed
-from repro.execution.lazy import FetchedPage, LazyServiceCursor, MultiFeedCursor
+from repro.execution.lazy import (
+    FetchedPage,
+    LazyServiceCursor,
+    MultiFeedCursor,
+    NullPageSource,
+)
+from repro.execution.resilience import (
+    PartialResultCertificate,
+    ResilienceConfig,
+    UnresponsiveService,
+    build_certificate,
+    resilient_fetch,
+)
 from repro.execution.results import ResultTable, Row, compose_ranking
 from repro.execution.slots import SlotLayout, compile_predicates, layout_for_rows
 from repro.execution.stats import ExecutionStats
@@ -128,6 +140,13 @@ class ExecutionResult:
     over lazily fetched inputs it may pull further pages *within the
     round's fetch budget* (call ``stream.rebind_stats`` first so those
     fetches are accounted to the resuming round).
+
+    ``certificate`` is the partial-result certificate of a
+    partial-results execution (:mod:`repro.execution.resilience`):
+    which units were dropped and which service blocks produced each
+    answer.  ``None`` unless the engine runs with
+    ``ResilienceConfig(partial_results=True)``; an *empty* certificate
+    (no drops) is a completeness witness, not an error.
     """
 
     table: ResultTable
@@ -136,6 +155,7 @@ class ExecutionResult:
     k: int | None = None
     node_output_sizes: dict[str, int] = field(default_factory=dict)
     stream: JoinStream | None = None
+    certificate: PartialResultCertificate | None = None
 
     @property
     def complete(self) -> bool:
@@ -171,12 +191,21 @@ class ExecutionEngine:
         shuffle_seed: int = 17,
         lazy_streaming: bool = True,
         slot_rows: bool = True,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self._registry = registry
         self._cache_setting = cache_setting
         self._mode = mode
         self._thread_overhead = thread_overhead
         self._shuffle_seed = shuffle_seed
+        #: Retry/hedge/partial-results behavior of every page pull
+        #: (:mod:`repro.execution.resilience`); None runs the
+        #: historical fail-fast path bit-identically.
+        self._resilience = resilience
+        #: Units demoted by exhausted retries in partial-results mode,
+        #: persistent across this engine's executions (progressive
+        #: rounds must not re-await a block already proven dead).
+        self._demoted: dict[tuple[str, tuple], UnresponsiveService] = {}
         #: Under STREAMED with a k budget, fetch the final join's
         #: service inputs (single- and multi-feed) on demand; False
         #: restores PR 2's eager materialization (same results, more
@@ -218,7 +247,6 @@ class ExecutionEngine:
             self._cache_setting
         )
         stats = ExecutionStats()
-        rng = random.Random(self._shuffle_seed)
         streaming_join = (
             self._streamed_join_node(plan)
             if self._mode is ExecutionMode.STREAMED and k is not None
@@ -233,53 +261,74 @@ class ExecutionEngine:
             # flag it so the zeroed streaming/lazy counters cannot be
             # mistaken for a stream that visited nothing.
             stats.streamed_fallback = True
-        stream: JoinStream | None = None
         lazy_candidates = (
             self._lazy_input_ids(plan, streaming_join)
             if streaming_join is not None and self._lazy_streaming
             else frozenset()
         )
-        lazy_cursors: dict[str, LazyServiceCursor | MultiFeedCursor] = {}
-
-        outputs: dict[str, list[Row]] = {}
-        busy: dict[str, float] = {}
-        for node in plan.topological_order():
-            if isinstance(node, InputNode):
-                outputs[node.node_id] = [Row(bindings={})]
-                busy[node.node_id] = 0.0
-            elif isinstance(node, ServiceNode):
-                if node.node_id in lazy_candidates:
-                    cursor = self._open_lazy_cursor(
-                        plan, node, outputs, cache, stats
-                    )
-                    lazy_cursors[node.node_id] = cursor
-                    # The cursor's row list is live: it grows as the
-                    # streamed walk demands pages, so the node-size
-                    # snapshot below sees exactly what was fetched.
-                    outputs[node.node_id] = cursor.rows
-                    busy[node.node_id] = 0.0
-                else:
-                    rows, node_busy = self._run_service_node(
-                        plan, node, outputs, cache, stats, rng
-                    )
-                    outputs[node.node_id] = rows
-                    busy[node.node_id] = node_busy
-            elif isinstance(node, JoinNode):
-                if node is streaming_join:
-                    stream = self._open_join_stream(
-                        plan, node, outputs, lazy_cursors
-                    )
-                    rows = stream.top(k)
-                else:
-                    rows = self._run_join_node(plan, node, outputs)
-                outputs[node.node_id] = rows
-                busy[node.node_id] = node.response_time
-            elif isinstance(node, OutputNode):
-                rows = self._run_output_node(plan, node, outputs)
-                outputs[node.node_id] = rows
-                busy[node.node_id] = 0.0
-            else:
-                raise ExecutionError(f"unknown node type {type(node).__name__}")
+        # Partial-results restart loop: a walk aborted by an exhausted
+        # retry budget demotes the failing unit and re-runs with the
+        # unit masked (the shared logical cache makes restarts cheap —
+        # every already-fetched page is answered locally).  The stats
+        # object survives restarts, so aborted work stays counted.
+        # Each restart demotes one *new* unit and the plan has finitely
+        # many, so the loop terminates.
+        while True:
+            rng = random.Random(self._shuffle_seed)
+            stream: JoinStream | None = None
+            lazy_cursors: dict[str, LazyServiceCursor | MultiFeedCursor] = {}
+            outputs: dict[str, list[Row]] = {}
+            busy: dict[str, float] = {}
+            try:
+                for node in plan.topological_order():
+                    if isinstance(node, InputNode):
+                        outputs[node.node_id] = [Row(bindings={})]
+                        busy[node.node_id] = 0.0
+                    elif isinstance(node, ServiceNode):
+                        if node.node_id in lazy_candidates:
+                            cursor = self._open_lazy_cursor(
+                                plan, node, outputs, cache, stats
+                            )
+                            lazy_cursors[node.node_id] = cursor
+                            # The cursor's row list is live: it grows
+                            # as the streamed walk demands pages, so
+                            # the node-size snapshot below sees exactly
+                            # what was fetched.
+                            outputs[node.node_id] = cursor.rows
+                            busy[node.node_id] = 0.0
+                        else:
+                            rows, node_busy = self._run_service_node(
+                                plan, node, outputs, cache, stats, rng
+                            )
+                            outputs[node.node_id] = rows
+                            busy[node.node_id] = node_busy
+                    elif isinstance(node, JoinNode):
+                        if node is streaming_join:
+                            stream = self._open_join_stream(
+                                plan, node, outputs, lazy_cursors
+                            )
+                            rows = stream.top(k)
+                        else:
+                            rows = self._run_join_node(plan, node, outputs)
+                        outputs[node.node_id] = rows
+                        busy[node.node_id] = node.response_time
+                    elif isinstance(node, OutputNode):
+                        rows = self._run_output_node(plan, node, outputs)
+                        outputs[node.node_id] = rows
+                        busy[node.node_id] = 0.0
+                    else:
+                        raise ExecutionError(
+                            f"unknown node type {type(node).__name__}"
+                        )
+            except UnresponsiveService as failure:
+                if failure.unit in self._demoted:  # pragma: no cover
+                    raise ExecutionError(
+                        f"demoted unit {failure.unit!r} failed again — "
+                        f"masking is broken"
+                    ) from failure
+                self.demote(failure)
+                continue
+            break
 
         for node_id, cursor in lazy_cursors.items():
             busy[node_id] = self._node_busy(cursor.latencies)
@@ -301,6 +350,9 @@ class ExecutionEngine:
         else:
             final_rows = compose_ranking(produced)
             complete = True
+        certificate = self.certificate_for(plan, final_rows)
+        if certificate is not None:
+            stats.demoted_blocks = len(certificate.dropped)
         table = ResultTable(head=tuple(head), rows=final_rows, complete=complete)
         return ExecutionResult(
             table=table,
@@ -311,6 +363,65 @@ class ExecutionEngine:
                 node_id: len(rows) for node_id, rows in outputs.items()
             },
             stream=stream,
+            certificate=certificate,
+        )
+
+    # -- resilience ---------------------------------------------------------
+
+    def demote(self, failure: UnresponsiveService) -> None:
+        """Mask *failure*'s unit in every later walk of this engine.
+
+        Idempotent: concurrent row tasks of a :class:`ParallelExecutor`
+        can exhaust the same unit's budget twice before either failure
+        is collected.
+        """
+        self._demoted.setdefault(failure.unit, failure)
+
+    def mask_unit(
+        self, service: str, input_key: tuple, reason: str = "masked up front"
+    ) -> None:
+        """Pre-demote one unit before executing.
+
+        The oracle of the partial-results differential: re-running a
+        plan on a *fault-free* registry with the certificate's dropped
+        units masked up front must reproduce the partial answer
+        bit-for-bit.
+        """
+        failure = UnresponsiveService(
+            service, input_key, 0, 0, RuntimeError(reason)
+        )
+        self._demoted.setdefault((service, input_key), failure)
+
+    def certificate_for(
+        self, plan: QueryPlan, rows: list[Row]
+    ) -> PartialResultCertificate | None:
+        """The partial-result certificate; None unless partial mode."""
+        if self._resilience is None or not self._resilience.partial_results:
+            return None
+        return build_certificate(plan, rows, self._demoted)
+
+    def _masked(self, service: str, input_key: tuple) -> bool:
+        """Whether one ``(service, input setting)`` unit is demoted."""
+        return bool(self._demoted) and (service, input_key) in self._demoted
+
+    def _invoke_service(
+        self, service, node: ServiceNode, inputs, input_key: tuple,
+        page: int, stats: ExecutionStats,
+    ):
+        """One raw remote invocation, through the resilience layer.
+
+        The seam shared by the eager page loop and the lazy page
+        source: cache lookup/store and fetch accounting stay with the
+        caller, so retried and hedged duplicates can never double-store
+        a page or double-count a call — only the winning response is
+        ever seen by the cache layer.
+        """
+        if self._resilience is None:
+            return service.invoke(node.pattern, inputs, page=page)
+        return resilient_fetch(
+            self._resilience, node.service_name, input_key, page,
+            lambda: service.invoke(node.pattern, inputs, page=page),
+            stats,
         )
 
     # -- node execution -----------------------------------------------------
@@ -381,6 +492,10 @@ class ExecutionEngine:
                             )
                         inputs[position] = bindings[term]
             input_key = (pattern_code, tuple(inputs.items()))
+            if self._masked(node.service_name, input_key):
+                # A demoted unit contributes nothing: no rows, no
+                # calls, no hits (the certificate records the drop).
+                continue
             pages: list = []
             issued_remote = False
             for page in range(node.fetches):
@@ -388,7 +503,9 @@ class ExecutionEngine:
                 if cached is not None:
                     result = cached
                 else:
-                    result = service.invoke(node.pattern, inputs, page=page)
+                    result = self._invoke_service(
+                        service, node, inputs, input_key, page, stats
+                    )
                     cache.store(node.service_name, input_key, page, result)
                     service_stats.record_fetch(
                         result.latency, result.from_remote_cache,
@@ -654,18 +771,25 @@ class ExecutionEngine:
                 f"service node {node.label} must have exactly one predecessor"
             )
         feed = outputs[predecessors[0].node_id]
-        if len(feed) == 1:
-            source = _LazyServicePageSource(self, node, feed[0], cache, stats)
-            return LazyServiceCursor(source, base_rank=feed[0].rank_key())
-        return MultiFeedCursor(
-            [
-                LazyServiceCursor(
-                    _LazyServicePageSource(self, node, row, cache, stats),
-                    base_rank=row.rank_key(),
+        cursors = []
+        for row in feed:
+            source = _LazyServicePageSource(self, node, row, cache, stats)
+            if self._masked(node.service_name, source.input_key):
+                # A demoted block is exhausted from birth: it places no
+                # rows, issues no fetch, and its infinite floor lets
+                # the block-interleaving certificate skip it entirely.
+                cursors.append(
+                    LazyServiceCursor(
+                        NullPageSource(), base_rank=row.rank_key()
+                    )
                 )
-                for row in feed
-            ]
-        )
+            else:
+                cursors.append(
+                    LazyServiceCursor(source, base_rank=row.rank_key())
+                )
+        if len(cursors) == 1:
+            return cursors[0]
+        return MultiFeedCursor(cursors)
 
     def _join_inputs(
         self,
@@ -828,7 +952,8 @@ class _LazyServicePageSource:
                     )
                 inputs[position] = bindings[term]
         self._inputs = inputs
-        self._input_key = (node.pattern.code, tuple(inputs.items()))
+        self.input_key = (node.pattern.code, tuple(inputs.items()))
+        self._engine = engine
         self.budget = node.fetches
         self._rank_floor = 0
         self._epoch_pages = 0
@@ -847,14 +972,17 @@ class _LazyServicePageSource:
         node = self._node
         name = node.service_name
         service_stats = self._stats.service(name)
-        cached = self._cache.lookup(name, self._input_key, page)
+        cached = self._cache.lookup(name, self.input_key, page)
         latency: float | None = None
         if cached is not None:
             result = cached
         else:
             assert node.pattern is not None
-            result = self._service.invoke(node.pattern, self._inputs, page=page)
-            self._cache.store(name, self._input_key, page, result)
+            result = self._engine._invoke_service(
+                self._service, node, self._inputs, self.input_key, page,
+                self._stats,
+            )
+            self._cache.store(name, self.input_key, page, result)
             service_stats.record_fetch(
                 result.latency, result.from_remote_cache, len(result.tuples)
             )

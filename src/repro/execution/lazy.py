@@ -678,3 +678,26 @@ class ListPageSource:
 
     def swap_stats(self, stats: object) -> None:
         return None
+
+
+@dataclass
+class NullPageSource:
+    """The page source of a demoted (unresponsive) feed block.
+
+    Partial-results mode (:mod:`repro.execution.resilience`) masks a
+    demoted unit by giving its lazy cursor a zero-budget source: the
+    cursor is exhausted from birth, produces no rows, and never issues
+    a fetch — the block contributes nothing to answers, calls, or
+    cache accounting.  (It still registers as an *untouched* lazy
+    block in the statistics: it issued no page fetch, which is
+    literally true — the certificate, not the lazy counters, records
+    why.)
+    """
+
+    budget: int = 0
+
+    def fetch(self, page: int) -> FetchedPage:  # pragma: no cover - guard
+        raise AssertionError("a demoted block must never be fetched")
+
+    def swap_stats(self, stats: object) -> None:
+        return None

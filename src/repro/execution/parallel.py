@@ -67,6 +67,7 @@ from repro.execution.engine import (
     ExecutionMode,
     ExecutionResult,
 )
+from repro.execution.resilience import ResilienceConfig, UnresponsiveService
 from repro.execution.results import ResultTable, Row, compose_ranking
 from repro.execution.stats import ExecutionStats
 from repro.model.terms import Variable
@@ -84,20 +85,26 @@ class ParallelExecutor:
         workers: int = 4,
         thread_overhead: float = 0.05,
         slot_rows: bool = True,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self._registry = registry
         self._cache_setting = cache_setting
         self._workers = max(1, workers)
         self._thread_overhead = thread_overhead
+        self._resilience = resilience
         #: Join/output/binding logic is delegated to a composed engine
         #: (PARALLEL mode: no feed shuffle, critical-path timing), so
-        #: the two execution paths cannot drift apart.
+        #: the two execution paths cannot drift apart.  The resilience
+        #: config rides along: every row task's page loop runs through
+        #: the same retry/hedge seam the sequential engine uses, and
+        #: demotions accumulate on the composed engine's mask.
         self._engine = ExecutionEngine(
             registry,
             cache_setting=cache_setting,
             mode=ExecutionMode.PARALLEL,
             thread_overhead=thread_overhead,
             slot_rows=slot_rows,
+            resilience=resilience,
         )
 
     @property
@@ -144,68 +151,108 @@ class ParallelExecutor:
         workers = self.effective_workers()
         stats = ExecutionStats()
         stats.parallel_workers = workers
-        outputs: dict[str, list[Row]] = {}
-        busy: dict[str, float] = {}
-        order = list(plan.topological_order())
-        done: set[str] = set()
-        #: Service nodes whose row tasks are submitted but not yet
-        #: collected, in submission order.
-        in_flight: list[tuple[ServiceNode, list]] = []
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            while order or in_flight:
-                progressed = False
-                for node in list(order):
-                    predecessors = plan.predecessors(node)
-                    if any(p.node_id not in done for p in predecessors):
-                        continue
-                    if isinstance(node, ServiceNode):
-                        # Fan the node out per feed row; collection is
-                        # deferred so sibling branches that become
-                        # ready in this sweep overlap on the pool.
-                        futures = self._submit_service_node(
-                            plan, node, outputs, cache, pool
+        # Partial-results restart loop (mirrors the engine's): a row
+        # task that exhausts its retry budget raises
+        # UnresponsiveService; every such failure still in flight is
+        # drained, the units are demoted on the composed engine, and
+        # the walk re-runs with the units masked — the shared cache
+        # makes restarts cheap.  The stats object survives restarts so
+        # aborted work stays counted.
+        while True:
+            outputs: dict[str, list[Row]] = {}
+            busy: dict[str, float] = {}
+            order = list(plan.topological_order())
+            done: set[str] = set()
+            #: Service nodes whose row tasks are submitted but not yet
+            #: collected, in submission order.
+            in_flight: list[tuple[ServiceNode, list]] = []
+            failures: list[UnresponsiveService] = []
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                try:
+                    while order or in_flight:
+                        progressed = False
+                        for node in list(order):
+                            predecessors = plan.predecessors(node)
+                            if any(
+                                p.node_id not in done for p in predecessors
+                            ):
+                                continue
+                            if isinstance(node, ServiceNode):
+                                # Fan the node out per feed row;
+                                # collection is deferred so sibling
+                                # branches that become ready in this
+                                # sweep overlap on the pool.
+                                futures = self._submit_service_node(
+                                    plan, node, outputs, cache, pool
+                                )
+                                in_flight.append((node, futures))
+                                order.remove(node)
+                                continue
+                            if isinstance(node, InputNode):
+                                outputs[node.node_id] = [Row(bindings={})]
+                                busy[node.node_id] = 0.0
+                            elif isinstance(node, JoinNode):
+                                outputs[node.node_id] = (
+                                    self._engine._run_join_node(
+                                        plan, node, outputs
+                                    )
+                                )
+                                busy[node.node_id] = node.response_time
+                            elif isinstance(node, OutputNode):
+                                outputs[node.node_id] = (
+                                    self._engine._run_output_node(
+                                        plan, node, outputs
+                                    )
+                                )
+                                busy[node.node_id] = 0.0
+                            else:
+                                raise ExecutionError(
+                                    f"unknown node type {type(node).__name__}"
+                                )
+                            done.add(node.node_id)
+                            order.remove(node)
+                            progressed = True
+                        if progressed:
+                            continue
+                        if not in_flight:  # pragma: no cover - cycle guard
+                            raise ExecutionError("plan made no progress")
+                        # Nothing inline-runnable: collect the oldest
+                        # in-flight node (its successors may unblock
+                        # further submissions while younger siblings
+                        # keep computing).
+                        node, futures = in_flight.pop(0)
+                        rows, node_busy = self._collect_service_node(
+                            node, futures, stats, workers
                         )
-                        in_flight.append((node, futures))
-                        order.remove(node)
-                        continue
-                    if isinstance(node, InputNode):
-                        outputs[node.node_id] = [Row(bindings={})]
-                        busy[node.node_id] = 0.0
-                    elif isinstance(node, JoinNode):
-                        outputs[node.node_id] = self._engine._run_join_node(
-                            plan, node, outputs
-                        )
-                        busy[node.node_id] = node.response_time
-                    elif isinstance(node, OutputNode):
-                        outputs[node.node_id] = self._engine._run_output_node(
-                            plan, node, outputs
-                        )
-                        busy[node.node_id] = 0.0
-                    else:
-                        raise ExecutionError(
-                            f"unknown node type {type(node).__name__}"
-                        )
-                    done.add(node.node_id)
-                    order.remove(node)
-                    progressed = True
-                if progressed:
-                    continue
-                if not in_flight:  # pragma: no cover - cycle guard
-                    raise ExecutionError("plan made no progress")
-                # Nothing inline-runnable: collect the oldest in-flight
-                # node (its successors may unblock further submissions
-                # while younger siblings keep computing).
-                node, futures = in_flight.pop(0)
-                rows, node_busy = self._collect_service_node(
-                    node, futures, stats, workers
-                )
-                outputs[node.node_id] = rows
-                busy[node.node_id] = node_busy
-                done.add(node.node_id)
+                        outputs[node.node_id] = rows
+                        busy[node.node_id] = node_busy
+                        done.add(node.node_id)
+                except UnresponsiveService as error:
+                    failures.append(error)
+                    # Drain the remaining in-flight tasks: concurrent
+                    # units may have exhausted their budgets too, and
+                    # demoting them all now saves one restart each.
+                    for _, futures in in_flight:
+                        for future in futures:
+                            try:
+                                future.result()
+                            except UnresponsiveService as also:
+                                failures.append(also)
+                            except Exception:
+                                # Deterministic: recurs on the restart
+                                # and propagates there if permanent.
+                                pass
+            if not failures:
+                break
+            for failure in failures:
+                self._engine.demote(failure)
         stats.elapsed = self._engine._elapsed(plan, busy)
         stats.wall_time = time.perf_counter() - started
         produced = outputs[plan.output_node.node_id]
         final_rows = compose_ranking(produced)
+        certificate = self._engine.certificate_for(plan, final_rows)
+        if certificate is not None:
+            stats.demoted_blocks = len(certificate.dropped)
         table = ResultTable(head=tuple(head), rows=final_rows, complete=True)
         return ExecutionResult(
             table=table,
@@ -216,6 +263,7 @@ class ParallelExecutor:
                 node_id: len(rows) for node_id, rows in outputs.items()
             },
             stream=None,
+            certificate=certificate,
         )
 
     # -- service fan-out -----------------------------------------------------
@@ -327,3 +375,8 @@ class ParallelExecutor:
             target.busy_time += source.busy_time
             target.tuples_fetched += source.tuples_fetched
         stats.tuples_processed += local.tuples_processed
+        stats.retries += local.retries
+        stats.retry_backoff += local.retry_backoff
+        stats.hedged_pulls += local.hedged_pulls
+        stats.hedged_wins += local.hedged_wins
+        stats.wasted_fetches += local.wasted_fetches

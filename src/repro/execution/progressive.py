@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.execution.cache import CacheSetting, LogicalCache, make_cache
 from repro.execution.engine import ExecutionEngine, ExecutionMode, ExecutionResult
+from repro.execution.resilience import ResilienceConfig, UnresponsiveService
 from repro.execution.results import ResultTable
 from repro.execution.stats import ExecutionStats
 from repro.model.terms import Variable
@@ -108,6 +109,11 @@ class ProgressiveExecutor:
     #: caches.  Experiments want True (independence); a long-lived
     #: server wants False (sessions arrive into a warm world).
     reset_remote: bool = True
+    #: Retry/hedge/partial-results behavior of every page pull
+    #: (:mod:`repro.execution.resilience`); demotions persist across
+    #: rounds on the engine's mask, so a continuation never re-awaits
+    #: a block already proven unresponsive.
+    resilience: ResilienceConfig | None = None
     rounds: list[ProgressiveRound] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -116,6 +122,7 @@ class ProgressiveExecutor:
             cache_setting=self.cache_setting,
             mode=self.mode,
             lazy_streaming=self.lazy_streaming,
+            resilience=self.resilience,
         )
         # One shared cache across all rounds: continuations are free
         # where they overlap with what was already fetched.
@@ -212,7 +219,18 @@ class ProgressiveExecutor:
         stats = ExecutionStats()
         stream.rebind_stats(stats)
         fetched_before = stream.lazy_tuples_fetched
-        rows = stream.top(k)
+        try:
+            rows = stream.top(k)
+        except UnresponsiveService as failure:
+            # A lazily fetched block died mid-resume (partial mode).
+            # The suspended stream cannot retract what it already
+            # placed, so demote the unit on the engine's persistent
+            # mask, drop the poisoned stream, and let ``run`` fall
+            # back to a fresh execution — which masks the block and
+            # re-serves everything else from the shared cache.
+            self._engine.demote(failure)
+            self._last_result = None
+            return None
         stats.streamed_cells_visited = stream.cells_visited
         stats.early_exit_cells_skipped = stream.cells_skipped
         stats.lazy_tuples_fetched = stream.lazy_tuples_fetched - fetched_before
@@ -237,6 +255,7 @@ class ProgressiveExecutor:
             k=k,
             node_output_sizes={},
             stream=stream,
+            certificate=self._engine.certificate_for(self.plan, rows),
         )
         self.rounds.append(
             ProgressiveRound(

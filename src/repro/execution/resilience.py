@@ -1,0 +1,469 @@
+"""Resilient page pulls: retry/backoff, hedging, honest partial results.
+
+The paper's cost model optimizes over remote services that in any real
+deployment fail, stall, and straggle.  The fault-injection kit
+(:mod:`repro.testing.faults`) proves failures *surface* cleanly; this
+module makes the engine *survive* them, in three independently
+switchable layers wired into both page-pull seams (the eager page loop
+of ``ExecutionEngine._run_service_node`` and the lazy
+``_LazyServicePageSource.fetch``):
+
+* **Retry with backoff** (:class:`RetryPolicy`) — a transient page
+  failure (:class:`~repro.services.base.TransientServiceError`,
+  ``ConnectionError``, ``TimeoutError``) is re-invoked up to a per-
+  service attempt cap, with seeded *deterministic* exponential backoff
+  charged to virtual time (services never sleep, so neither does the
+  retry loop: the backoff delay is folded into the winning fetch's
+  reported latency).  A per-call ``deadline`` bounds the cumulative
+  backoff a single page pull may accumulate.  **Determinism argument**:
+  every quantity involved — the attempt sequence, the backoff delays
+  (hashed from ``(seed, service, input key, attempt)``), the final
+  outcome — is a pure function of the policy and the service's own
+  (seeded) behavior, never of wall-clock time or scheduling.
+
+* **Hedging** (:class:`HedgePolicy`) — a page pull whose reported
+  latency exceeds the straggler threshold is duplicated onto a small
+  shared thread pool (the same fan-out discipline as the PR 6
+  ``ParallelExecutor``); the first *sound* response wins by virtual
+  latency and the loser is discarded without touching the logical
+  cache or its accounting.  **Accounting argument**: both the primary
+  and the duplicate are raw ``service.invoke`` calls below the cache
+  layer — only the winner is stored and recorded via ``record_fetch``,
+  so calls/fetches/cache-hit counters are bit-identical to an unhedged
+  run; the duplicate is traced solely by the ``hedged_pulls`` /
+  ``hedged_wins`` / ``wasted_fetches`` counters.  (On a remote-caching
+  service the duplicate may be answered by the remote's own cache and
+  win with the fast repeat latency — *virtual time* may legitimately
+  improve; tuples never change for a deterministic remote.)
+
+* **Partial results** (``partial_results=True``) — when retries are
+  exhausted, the failing unit (one ``(service, input setting)`` block)
+  is *demoted* instead of aborting the query: the engine masks the
+  unit and re-runs the walk (the logical cache makes restarts cheap),
+  returning top-k over the responsive blocks plus a
+  :class:`PartialResultCertificate` naming every dropped unit and
+  attributing each returned answer to the service blocks that produced
+  it.  **Honesty argument**: demotion-by-masking makes the partial
+  answer *exactly* the top-k of the plan over the registry with the
+  dropped units excluded up front — the oracle the differential suite
+  replays — so answers are never silently dropped: either a unit is in
+  the certificate, or its data was fully considered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.services.base import InvocationResult, TransientServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.execution.results import Row
+    from repro.execution.stats import ExecutionStats
+    from repro.plans.dag import QueryPlan
+
+#: Exception types the retry layer treats as transient.  Anything else
+#: (schema violations, programming errors) propagates immediately.
+TRANSIENT_ERRORS = (TransientServiceError, ConnectionError, TimeoutError)
+
+
+class UnresponsiveService(RuntimeError):
+    """One ``(service, input setting)`` unit exhausted its retry budget.
+
+    Raised by :func:`resilient_fetch` only in partial-results mode; the
+    engine catches it, demotes the unit, and re-runs the walk with the
+    unit masked.  Outside partial mode the *original* transient error
+    propagates instead, preserving historical fail-fast behavior.
+    """
+
+    def __init__(
+        self,
+        service: str,
+        input_key: tuple,
+        page: int,
+        attempts: int,
+        cause: BaseException,
+    ) -> None:
+        super().__init__(
+            f"{service} unresponsive for {input_key!r} "
+            f"(page {page}, {attempts} attempts): {cause}"
+        )
+        self.service = service
+        self.input_key = input_key
+        self.page = page
+        self.attempts = attempts
+        self.cause = cause
+
+    @property
+    def unit(self) -> tuple[str, tuple]:
+        """The demotion key: ``(service name, input key)``."""
+        return (self.service, self.input_key)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry/backoff for transient page failures.
+
+    ``attempts`` is the total invocation budget per page pull (1 means
+    no retry); ``per_service`` overrides it for named services.
+    Backoff for re-attempt *n* (1-based) is
+    ``min(max_delay, base_delay * multiplier**(n-1))`` scaled by a
+    seeded jitter in ``[1-jitter, 1+jitter]`` — a pure function of
+    ``(seed, service, input key, n)``, so retried executions are
+    bit-reproducible.  ``deadline`` bounds the cumulative backoff one
+    page pull may accumulate: a retry whose delay would exceed it is
+    not taken (the pull fails as if the attempt cap were reached).
+    All delays are *virtual* seconds, folded into the winning fetch's
+    reported latency — nothing ever sleeps.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+    deadline: float | None = None
+    per_service: Mapping[str, int] = field(default_factory=dict)
+
+    def attempts_for(self, service: str) -> int:
+        """The attempt cap for *service* (>= 1)."""
+        return max(1, self.per_service.get(service, self.attempts))
+
+    def backoff(self, service: str, input_key: tuple, attempt: int) -> float:
+        """Virtual delay before re-attempt *attempt* (1-based)."""
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        if not self.jitter:
+            return delay
+        key = repr((self.seed, service, input_key, attempt))
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0**64
+        return delay * (1.0 - self.jitter + 2.0 * self.jitter * draw)
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Duplicate straggler page pulls; first sound response wins.
+
+    A pull whose reported latency exceeds ``threshold`` (virtual
+    seconds) is re-issued up to ``max_hedges`` times on the shared
+    hedge pool; the response with the smallest virtual latency wins
+    (the primary on ties), every loser is discarded uncounted.
+    """
+
+    threshold: float = 4.0
+    max_hedges: int = 1
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Which resilience layers are active for an engine.
+
+    All three fields default to off; a config with every layer off is
+    behaviorally identical to running without one (the bit-identity
+    contract the differential suite pins).
+    """
+
+    retry: RetryPolicy | None = None
+    hedge: HedgePolicy | None = None
+    partial_results: bool = False
+
+
+_HEDGE_POOL: ThreadPoolExecutor | None = None
+_HEDGE_POOL_LOCK = threading.Lock()
+
+
+def _hedge_pool() -> ThreadPoolExecutor:
+    """The process-wide pool hedged duplicates run on (lazily built).
+
+    Mirrors the ``ParallelExecutor`` fan-out pool: small, shared, and
+    daemonic enough that leaving it alive for the process lifetime is
+    cheap (four idle threads).
+    """
+    global _HEDGE_POOL
+    with _HEDGE_POOL_LOCK:
+        if _HEDGE_POOL is None:
+            _HEDGE_POOL = ThreadPoolExecutor(
+                max_workers=4, thread_name_prefix="hedge"
+            )
+        return _HEDGE_POOL
+
+
+def resilient_fetch(
+    config: ResilienceConfig,
+    service: str,
+    input_key: tuple,
+    page: int,
+    invoke: Callable[[], InvocationResult],
+    stats: "ExecutionStats",
+) -> InvocationResult:
+    """One page pull under *config*: retry, hedge, demote.
+
+    ``invoke`` performs one raw remote invocation (no cache lookup, no
+    accounting — both seams keep those outside, so only the winning
+    response is ever stored or counted).  Returns the winning
+    :class:`InvocationResult`, with accumulated backoff folded into
+    its reported latency.  Raises :class:`UnresponsiveService` when
+    retries are exhausted in partial-results mode, the final transient
+    error otherwise.
+    """
+    retry = config.retry
+    cap = retry.attempts_for(service) if retry is not None else 1
+    attempt = 0
+    overhead = 0.0  # virtual: backoff charged to the winning fetch
+    while True:
+        try:
+            result = invoke()
+        except TRANSIENT_ERRORS as error:
+            stats.wasted_fetches += 1
+            attempt += 1
+            exhausted = attempt >= cap
+            delay = 0.0
+            if not exhausted:
+                assert retry is not None
+                delay = retry.backoff(service, input_key, attempt)
+                if (
+                    retry.deadline is not None
+                    and overhead + delay > retry.deadline
+                ):
+                    exhausted = True
+            if exhausted:
+                if config.partial_results:
+                    raise UnresponsiveService(
+                        service, input_key, page, attempt, error
+                    ) from error
+                raise
+            stats.retries += 1
+            stats.retry_backoff += delay
+            overhead += delay
+            continue
+        result = _maybe_hedge(config, result, invoke, stats)
+        if overhead:
+            result = replace(result, latency=result.latency + overhead)
+        return result
+
+
+def _maybe_hedge(
+    config: ResilienceConfig,
+    primary: InvocationResult,
+    invoke: Callable[[], InvocationResult],
+    stats: "ExecutionStats",
+) -> InvocationResult:
+    """Duplicate a straggling pull; return the winning response."""
+    hedge = config.hedge
+    if hedge is None or primary.latency <= hedge.threshold:
+        return primary
+    winner = primary
+    for _ in range(max(1, hedge.max_hedges)):
+        stats.hedged_pulls += 1
+        future = _hedge_pool().submit(invoke)
+        try:
+            backup = future.result()
+        except TRANSIENT_ERRORS:
+            stats.wasted_fetches += 1  # the duplicate itself failed
+            continue
+        if backup.latency < winner.latency:
+            stats.hedged_wins += 1
+            winner = backup
+        stats.wasted_fetches += 1  # exactly one of the pair is discarded
+        if winner.latency <= hedge.threshold:
+            break  # no longer a straggler: stop duplicating
+    return winner
+
+
+class RetryingPageSource:
+    """Retry wrapper for a :class:`~repro.execution.lazy.PageSource`.
+
+    For page sources whose ``fetch`` is *idempotent and accounting-
+    free* (test sources, replayed traces), this lifts the retry layer
+    to the page-source seam so a bare
+    :class:`~repro.execution.lazy.LazyServiceCursor` survives
+    transient fetch failures.  The engine's own cache-backed source
+    embeds :func:`resilient_fetch` *inside* its fetch instead (below
+    the cache lookup/store), so hedged or retried duplicates can never
+    double-store a page or double-count a call.
+    """
+
+    def __init__(
+        self,
+        source,
+        config: ResilienceConfig,
+        stats: "ExecutionStats",
+        service: str = "<page-source>",
+        input_key: tuple = (),
+    ) -> None:
+        self._source = source
+        self._config = config
+        self._stats = stats
+        self._service = service
+        self._input_key = input_key
+
+    @property
+    def budget(self) -> int:
+        return self._source.budget
+
+    def swap_stats(self, stats: object) -> None:
+        self._source.swap_stats(stats)
+
+    def fetch(self, page: int):
+        retry = self._config.retry
+        cap = retry.attempts_for(self._service) if retry is not None else 1
+        attempt = 0
+        while True:
+            try:
+                return self._source.fetch(page)
+            except TRANSIENT_ERRORS as error:
+                self._stats.wasted_fetches += 1
+                attempt += 1
+                if attempt >= cap:
+                    if self._config.partial_results:
+                        raise UnresponsiveService(
+                            self._service, self._input_key, page, attempt,
+                            error,
+                        ) from error
+                    raise
+                assert retry is not None
+                self._stats.retries += 1
+                self._stats.retry_backoff += retry.backoff(
+                    self._service, self._input_key, attempt
+                )
+
+
+# -- partial-result certificates -------------------------------------------
+
+
+def unit_token(service: str, input_key: tuple) -> str:
+    """Canonical rendering of one ``(service, input setting)`` unit.
+
+    Input items are sorted so the token is independent of the engine's
+    position-iteration order; used both for dropped units and for
+    per-answer attribution, so the two cross-reference exactly.
+    """
+    pattern_code, items = input_key
+    return f"{service}[{pattern_code} {sorted(items)!r}]"
+
+
+@dataclass(frozen=True)
+class DroppedUnit:
+    """One demoted block: a service input setting that never answered."""
+
+    service: str
+    input_key: tuple
+    page: int
+    attempts: int
+    reason: str
+
+    @property
+    def unit(self) -> tuple[str, tuple]:
+        return (self.service, self.input_key)
+
+    @property
+    def token(self) -> str:
+        return unit_token(self.service, self.input_key)
+
+    def to_dict(self) -> dict:
+        return {
+            "service": self.service,
+            "unit": self.token,
+            "page": self.page,
+            "attempts": self.attempts,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class PartialResultCertificate:
+    """What a partial-results execution dropped, and what remains.
+
+    ``dropped`` lists every demoted unit (empty for a fault-free run —
+    the certificate is then a *completeness* witness).
+    ``dropped_services`` names each service with at least one dropped
+    block; such a service may still appear in answers through its
+    *other*, responsive blocks — ``answer_units`` (one tuple of unit
+    tokens per returned answer, in answer order) shows exactly which
+    blocks produced each row, and by construction never intersects
+    ``dropped``.
+    """
+
+    dropped: tuple[DroppedUnit, ...]
+    responsive_services: tuple[str, ...]
+    dropped_services: tuple[str, ...]
+    answer_units: tuple[tuple[str, ...], ...]
+
+    @property
+    def is_partial(self) -> bool:
+        """True when at least one unit was dropped."""
+        return bool(self.dropped)
+
+    def to_dict(self) -> dict:
+        return {
+            "partial": self.is_partial,
+            "dropped": [unit.to_dict() for unit in self.dropped],
+            "responsive_services": list(self.responsive_services),
+            "dropped_services": list(self.dropped_services),
+            "answer_units": [list(units) for units in self.answer_units],
+        }
+
+
+def _answer_units(plan: "QueryPlan", row: "Row") -> tuple[str, ...]:
+    """The unit tokens of the blocks that produced one answer row.
+
+    Every answer satisfies every service atom of the plan, and the
+    input setting of each service node *for this answer* is recoverable
+    from the answer's own bindings (constants resolve directly, bound
+    variables from the row) — so attribution needs no execution-time
+    bookkeeping at all.
+    """
+    tokens = []
+    for node in plan.service_nodes:
+        assert node.atom is not None and node.pattern is not None
+        items = []
+        for position in node.pattern.input_positions:
+            term = node.atom.term_at(position)
+            value = getattr(term, "value", None)
+            if value is None:
+                value = row.bindings.get(term)
+            items.append((position, value))
+        tokens.append(
+            unit_token(node.service_name, (node.pattern.code, tuple(items)))
+        )
+    return tuple(sorted(tokens))
+
+
+def build_certificate(
+    plan: "QueryPlan",
+    rows: "list[Row]",
+    demoted: Mapping[tuple[str, tuple], UnresponsiveService],
+) -> PartialResultCertificate:
+    """The partial-result certificate for one finished execution."""
+    plan_services = sorted(
+        {node.service_name for node in plan.service_nodes}
+    )
+    dropped = tuple(
+        DroppedUnit(
+            service=failure.service,
+            input_key=failure.input_key,
+            page=failure.page,
+            attempts=failure.attempts,
+            reason=str(failure.cause),
+        )
+        for (service, _), failure in sorted(
+            demoted.items(), key=lambda item: repr(item[0])
+        )
+        if service in plan_services
+    )
+    dropped_services = sorted({unit.service for unit in dropped})
+    responsive = tuple(
+        name for name in plan_services if name not in dropped_services
+    )
+    return PartialResultCertificate(
+        dropped=dropped,
+        responsive_services=responsive,
+        dropped_services=tuple(dropped_services),
+        answer_units=tuple(_answer_units(plan, row) for row in rows),
+    )

@@ -29,6 +29,20 @@ class InvocationError(ValueError):
     """Raised for invalid invocations (wrong pattern, missing inputs)."""
 
 
+class TransientServiceError(RuntimeError):
+    """A page-level failure worth retrying (timeout, dropped response).
+
+    The resilience layer (:mod:`repro.execution.resilience`) retries
+    invocations that raise this marker (or a builtin
+    ``ConnectionError``/``TimeoutError``) under its
+    :class:`~repro.execution.resilience.RetryPolicy`; any other
+    exception — :class:`InvocationError`, schema violations — is a
+    *permanent* fault and propagates immediately.  The fault-injection
+    kit's :class:`~repro.testing.faults.InjectedFault` subclasses this
+    marker, so injected page failures are retryable by construction.
+    """
+
+
 #: Fraction of the nominal response time charged for a repeated call
 #: answered from the remote server's own cache.
 REMOTE_CACHE_FACTOR = 0.05

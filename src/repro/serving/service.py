@@ -67,6 +67,7 @@ from repro.execution.cache import (
 from repro.execution.engine import ExecutionMode, ExecutionResult
 from repro.execution.parallel import ParallelExecutor
 from repro.execution.progressive import ProgressiveExecutor, ProgressiveRound
+from repro.execution.resilience import ResilienceConfig
 from repro.model.parser import parse_query
 from repro.model.query import ConjunctiveQuery
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
@@ -92,6 +93,14 @@ class QueryResponse:
     (cache miss, branch-and-bound ran), ``"memory"`` / ``"disk"``
     (plan-cache tiers), or ``"session"`` (a resumed continuation —
     no plan lookup at all).
+
+    ``partial`` is the partial-result certificate of a service running
+    with ``ResilienceConfig(partial_results=True)``: which service
+    units were dropped by exhausted retries and which blocks produced
+    each answer (see
+    :class:`~repro.execution.resilience.PartialResultCertificate`).
+    ``None`` when partial mode is off; a dict with ``"partial": False``
+    and no drops is a completeness witness.
     """
 
     session_id: str
@@ -109,6 +118,7 @@ class QueryResponse:
     fingerprint: str
     epoch: str
     stats: dict
+    partial: dict | None = None
 
     def to_dict(self) -> dict:
         """Plain-data rendering (everything JSON-serializable)."""
@@ -129,6 +139,7 @@ class QueryResponse:
             "fingerprint": self.fingerprint,
             "epoch": self.epoch,
             "stats": self.stats,
+            "partial": self.partial,
         }
 
     def to_json(self) -> str:
@@ -197,6 +208,10 @@ class QueryService:
     #: Tenant tag for plan-cache store quotas; None uses the registry
     #: content epoch (one quota bucket per registry content version).
     tenant_id: str | None = None
+    #: Retry/hedge/partial-results behavior for every execution this
+    #: service runs (:mod:`repro.execution.resilience`); None serves
+    #: with the historical fail-fast engine, bit-identically.
+    resilience: ResilienceConfig | None = None
     stats: ServingStats = field(default_factory=ServingStats)
 
     def __post_init__(self) -> None:
@@ -249,6 +264,7 @@ class QueryService:
             cache_setting=self.cache_setting,
             shared_cache=self._service_cache,
             reset_remote=False,
+            resilience=self.resilience,
         )
         result = executor.run(k)
         session = self.sessions.create(
@@ -336,6 +352,7 @@ class QueryService:
             self.registry,
             cache_setting=self.cache_setting,
             workers=workers,
+            resilience=self.resilience,
         )
         result = executor.execute(
             plan,
@@ -484,7 +501,14 @@ class QueryService:
             "rounds": len(rounds),
             "annotate_calls": annotate_calls,
             "answers_available": len(result.rows),
+            # Resilience-layer trace (all 0 when no config is active):
+            # wasted work never enters the per-service accounting above.
+            "retries": sum(s.retries for s in round_stats),
+            "hedged_pulls": sum(s.hedged_pulls for s in round_stats),
+            "hedged_wins": sum(s.hedged_wins for s in round_stats),
+            "wasted_fetches": sum(s.wasted_fetches for s in round_stats),
         }
+        certificate = result.certificate
         return QueryResponse(
             session_id=session_id,
             k=k,
@@ -499,4 +523,5 @@ class QueryService:
             fingerprint=fingerprint,
             epoch=epoch,
             stats=stats,
+            partial=certificate.to_dict() if certificate else None,
         )

@@ -1,0 +1,22 @@
+"""Importable test instrumentation (fault injection, flaky wrappers).
+
+Promoted out of ``tests/`` so benchmarks, the serving suites, and
+downstream experiments can inject deterministic faults without path
+hacks; ``tests/fault_injection.py`` remains as a re-export shim.
+"""
+
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FaultSchedule,
+    FlakyService,
+    InjectedFault,
+    wrap_registry_flaky,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSchedule",
+    "FlakyService",
+    "InjectedFault",
+    "wrap_registry_flaky",
+]

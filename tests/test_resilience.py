@@ -1,0 +1,638 @@
+"""Resilience layer: retry/backoff, hedging, honest partial results.
+
+Differential contracts pinned here (see
+:mod:`repro.execution.resilience` for the arguments):
+
+* **Zero-fault bit-identity** — an engine with every resilience layer
+  switched on, run over a fault-free registry, is bit-identical to the
+  plain engine: rows, ranks, per-service calls/fetches/cache-hits,
+  and virtual time.  The certificate it attaches is then a
+  *completeness* witness (nothing dropped).
+* **Sufficient retries** — under any seeded attempt-aware fault
+  schedule with fail-rate < 1, enough retries make the resilient run
+  bit-identical to the fault-free oracle, answers *and* accounting
+  (failed attempts land in ``wasted_fetches``, never in the
+  per-service counters).
+* **Capped retries + partial mode** — the partial answer is *exactly*
+  the top-k of the plan over the registry with the certificate's
+  dropped units excluded up front: re-running on a clean registry with
+  those units pre-masked reproduces it bit-for-bit, and no returned
+  answer is ever attributed to a dropped unit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import fault_injection as shim
+import repro.testing.faults as faults
+from repro.execution.engine import ExecutionEngine, ExecutionMode
+from repro.execution.lazy import LazyServiceCursor, ListPageSource
+from repro.execution.resilience import (
+    HedgePolicy,
+    ResilienceConfig,
+    RetryPolicy,
+    RetryingPageSource,
+    UnresponsiveService,
+    resilient_fetch,
+    unit_token,
+)
+from repro.execution.stats import ExecutionStats
+from repro.model.schema import signature
+from repro.model.terms import Variable
+from repro.services.base import InvocationResult, TransientServiceError
+from repro.services.profile import search_profile
+from repro.services.table import TableSearchService
+from repro.testing import FaultSchedule, FlakyService, wrap_registry_flaky
+
+from tests.test_fault_injection import PLAN_SHAPES, _pair_plan, _serial_plan
+from tests.test_lazy import _paged, _rows
+
+
+def _sig(rows):
+    """Cross-registry row signature.
+
+    Rank *labels* are registry-local (auto-assigned service ids), so a
+    differential between independently built registries compares
+    bindings and rank values only.
+    """
+    return [
+        (dict(r.bindings), tuple(rank for _, rank in r.ranks)) for r in rows
+    ]
+
+RETRY_ALWAYS = ResilienceConfig(retry=RetryPolicy(attempts=40))
+#: Retry + hedging + partial mode, tuned so nothing fires on a clean
+#: run (no faults to retry, no latency above the hedge threshold).
+ALL_ON_QUIET = ResilienceConfig(
+    retry=RetryPolicy(attempts=3),
+    hedge=HedgePolicy(threshold=1e9),
+    partial_results=True,
+)
+
+
+def _counters(stats, with_remote=True):
+    """Per-service accounting; hedging excludes the remote-side view
+    (a hedged duplicate legitimately warms the remote's own cache)."""
+    return {
+        name: (
+            (s.calls, s.fetches, s.cache_hits, s.tuples_fetched)
+            + ((s.remote_cache_hits, s.busy_time) if with_remote else ())
+        )
+        for name, s in stats.per_service.items()
+    }
+
+
+def _page_result(latency=1.0):
+    return InvocationResult(
+        tuples=((0, "a"),), latency=latency, has_more=False, ranks=(0,)
+    )
+
+
+def _flaky_invoke(failures, latencies=(1.0,)):
+    """An invoke() failing *failures* times, then serving *latencies*."""
+    state = {"calls": 0}
+
+    def invoke():
+        state["calls"] += 1
+        if state["calls"] <= failures:
+            raise TransientServiceError(f"boom #{state['calls']}")
+        index = min(state["calls"] - failures, len(latencies)) - 1
+        return _page_result(latency=latencies[index])
+
+    return invoke, state
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay=0.5, multiplier=2.0, jitter=0.1)
+        key = ("ioo", ((0, "q"),))
+        for attempt in range(1, 6):
+            delay = policy.backoff("svc", key, attempt)
+            assert delay == policy.backoff("svc", key, attempt)
+            nominal = min(30.0, 0.5 * 2.0 ** (attempt - 1))
+            assert nominal * 0.9 <= delay <= nominal * 1.1
+
+    def test_no_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=3.0, max_delay=10.0, jitter=0.0
+        )
+        delays = [policy.backoff("svc", (), n) for n in (1, 2, 3, 4)]
+        assert delays == [1.0, 3.0, 9.0, 10.0]  # capped by max_delay
+
+    def test_seed_and_key_vary_the_jitter(self):
+        base = RetryPolicy(seed=0)
+        other = RetryPolicy(seed=1)
+        assert any(
+            base.backoff("svc", (), n) != other.backoff("svc", (), n)
+            for n in range(1, 6)
+        )
+        assert any(
+            base.backoff("svc", (), n) != base.backoff("other", (), n)
+            for n in range(1, 6)
+        )
+
+    def test_per_service_attempt_caps(self):
+        policy = RetryPolicy(attempts=5, per_service={"slow": 9, "none": 0})
+        assert policy.attempts_for("anything") == 5
+        assert policy.attempts_for("slow") == 9
+        assert policy.attempts_for("none") == 1  # floor: one attempt
+
+
+class TestResilientFetch:
+    def test_transient_failures_are_retried_and_charged(self):
+        policy = RetryPolicy(attempts=5)
+        config = ResilienceConfig(retry=policy)
+        invoke, state = _flaky_invoke(failures=2)
+        stats = ExecutionStats()
+        result = resilient_fetch(config, "svc", ("ioo", ()), 0, invoke, stats)
+        assert state["calls"] == 3
+        assert stats.retries == 2
+        assert stats.wasted_fetches == 2
+        expected_backoff = sum(
+            policy.backoff("svc", ("ioo", ()), n) for n in (1, 2)
+        )
+        assert stats.retry_backoff == pytest.approx(expected_backoff)
+        # Backoff is charged to virtual time on the winning fetch.
+        assert result.latency == pytest.approx(1.0 + expected_backoff)
+        assert result.tuples == ((0, "a"),)
+
+    def test_exhausted_retries_raise_the_original_error(self):
+        config = ResilienceConfig(retry=RetryPolicy(attempts=3))
+        invoke, state = _flaky_invoke(failures=10)
+        with pytest.raises(TransientServiceError, match="boom #3"):
+            resilient_fetch(
+                config, "svc", ("ioo", ()), 0, invoke, ExecutionStats()
+            )
+        assert state["calls"] == 3
+
+    def test_partial_mode_raises_unresponsive_service(self):
+        config = ResilienceConfig(
+            retry=RetryPolicy(attempts=2), partial_results=True
+        )
+        invoke, _ = _flaky_invoke(failures=10)
+        with pytest.raises(UnresponsiveService) as excinfo:
+            resilient_fetch(
+                config, "svc", ("ioo", ((0, "q"),)), 3, invoke,
+                ExecutionStats(),
+            )
+        failure = excinfo.value
+        assert failure.unit == ("svc", ("ioo", ((0, "q"),)))
+        assert failure.page == 3
+        assert failure.attempts == 2
+        assert isinstance(failure.cause, TransientServiceError)
+
+    def test_no_retry_policy_fails_on_first_transient(self):
+        invoke, state = _flaky_invoke(failures=1)
+        stats = ExecutionStats()
+        with pytest.raises(TransientServiceError):
+            resilient_fetch(
+                ResilienceConfig(), "svc", ("ioo", ()), 0, invoke, stats
+            )
+        assert state["calls"] == 1
+        assert stats.wasted_fetches == 1
+        assert stats.retries == 0
+
+    def test_deadline_bounds_cumulative_backoff(self):
+        config = ResilienceConfig(
+            retry=RetryPolicy(attempts=9, deadline=0.0)
+        )
+        invoke, state = _flaky_invoke(failures=10)
+        with pytest.raises(TransientServiceError):
+            resilient_fetch(
+                config, "svc", ("ioo", ()), 0, invoke, ExecutionStats()
+            )
+        assert state["calls"] == 1  # any backoff would exceed the deadline
+
+
+class TestHedging:
+    def _config(self, threshold=4.0, max_hedges=1):
+        return ResilienceConfig(
+            hedge=HedgePolicy(threshold=threshold, max_hedges=max_hedges)
+        )
+
+    def test_fast_primary_is_never_hedged(self):
+        invoke, state = _flaky_invoke(failures=0, latencies=(1.0,))
+        stats = ExecutionStats()
+        result = resilient_fetch(
+            self._config(), "svc", ("ioo", ()), 0, invoke, stats
+        )
+        assert state["calls"] == 1
+        assert result.latency == 1.0
+        assert stats.hedged_pulls == 0
+
+    def test_straggler_is_hedged_and_faster_backup_wins(self):
+        invoke, state = _flaky_invoke(failures=0, latencies=(10.0, 1.0))
+        stats = ExecutionStats()
+        result = resilient_fetch(
+            self._config(), "svc", ("ioo", ()), 0, invoke, stats
+        )
+        assert state["calls"] == 2
+        assert result.latency == 1.0
+        assert stats.hedged_pulls == 1
+        assert stats.hedged_wins == 1
+        assert stats.wasted_fetches == 1  # the losing half of the pair
+
+    def test_slower_backup_loses_and_tie_keeps_the_primary(self):
+        for backup_latency in (20.0, 10.0):
+            invoke, _ = _flaky_invoke(
+                failures=0, latencies=(10.0, backup_latency)
+            )
+            stats = ExecutionStats()
+            result = resilient_fetch(
+                self._config(), "svc", ("ioo", ()), 0, invoke, stats
+            )
+            assert result.latency == 10.0
+            assert stats.hedged_wins == 0
+            assert stats.wasted_fetches == 1
+
+    def test_failed_backup_is_wasted_but_harmless(self):
+        state = {"calls": 0}
+
+        def invoke():
+            state["calls"] += 1
+            if state["calls"] == 2:  # only the duplicate fails
+                raise TransientServiceError("hedge died")
+            return _page_result(latency=10.0)
+
+        stats = ExecutionStats()
+        result = resilient_fetch(
+            self._config(max_hedges=2), "svc", ("ioo", ()), 0, invoke, stats
+        )
+        assert result.latency == 10.0
+        assert stats.hedged_pulls == 2  # the failed one, then a retry hedge
+        assert stats.wasted_fetches == 2
+
+
+class _FlakyPageSource:
+    """A PageSource whose every page fails *fail_times* before serving."""
+
+    def __init__(self, inner, fail_times=1):
+        self._inner = inner
+        self._fail_times = fail_times
+        self._failures: dict[int, int] = {}
+
+    @property
+    def budget(self):
+        return self._inner.budget
+
+    def swap_stats(self, stats):
+        self._inner.swap_stats(stats)
+
+    def fetch(self, page):
+        seen = self._failures.get(page, 0)
+        if seen < self._fail_times:
+            self._failures[page] = seen + 1
+            raise TransientServiceError(f"flaky page {page}")
+        return self._inner.fetch(page)
+
+
+class TestRetryingPageSource:
+    def _pages(self):
+        return _paged(_rows([0, 1, 3, 4, 6, 7], "L"), chunk=2)
+
+    def test_cursor_over_flaky_source_matches_clean(self):
+        clean = LazyServiceCursor(ListPageSource(self._pages()))
+        clean.ensure_all()
+        stats = ExecutionStats()
+        retrying = RetryingPageSource(
+            _FlakyPageSource(ListPageSource(self._pages()), fail_times=2),
+            ResilienceConfig(retry=RetryPolicy(attempts=3)),
+            stats,
+            service="lefts",
+        )
+        cursor = LazyServiceCursor(retrying)
+        cursor.ensure_all()
+        assert cursor.rows == clean.rows
+        assert cursor.ranks == clean.ranks
+        assert stats.retries == 2 * len(self._pages())
+        assert stats.wasted_fetches == 2 * len(self._pages())
+        assert retrying.budget == len(self._pages())
+
+    def test_capped_retries_propagate_the_transient_error(self):
+        source = RetryingPageSource(
+            _FlakyPageSource(ListPageSource(self._pages()), fail_times=5),
+            ResilienceConfig(retry=RetryPolicy(attempts=2)),
+            ExecutionStats(),
+        )
+        with pytest.raises(TransientServiceError):
+            LazyServiceCursor(source).ensure(1)
+
+    def test_partial_mode_raises_unresponsive_service(self):
+        source = RetryingPageSource(
+            _FlakyPageSource(ListPageSource(self._pages()), fail_times=5),
+            ResilienceConfig(
+                retry=RetryPolicy(attempts=2), partial_results=True
+            ),
+            ExecutionStats(),
+            service="lefts",
+            input_key=("ioo", ((0, "q"),)),
+        )
+        with pytest.raises(UnresponsiveService) as excinfo:
+            LazyServiceCursor(source).ensure(1)
+        assert excinfo.value.unit == ("lefts", ("ioo", ((0, "q"),)))
+
+
+class TestPromotedFaultKit:
+    def test_shim_reexports_the_promoted_module(self):
+        assert shim.FaultSchedule is faults.FaultSchedule
+        assert shim.FlakyService is faults.FlakyService
+        assert shim.InjectedFault is faults.InjectedFault
+        assert shim.FAULT_KINDS is faults.FAULT_KINDS
+        assert shim.wrap_registry_flaky is faults.wrap_registry_flaky
+
+    def test_injected_fault_is_transient(self):
+        assert issubclass(faults.InjectedFault, TransientServiceError)
+
+    def _service(self):
+        return TableSearchService(
+            signature("spots", ["Q", "S"], ["io"]),
+            search_profile(chunk_size=3, response_time=1.0),
+            [("q", i) for i in range(7)],
+            score=lambda row: float(-row[1]),
+        )
+
+    def test_delay_kind_stretches_latency_only(self):
+        inner = self._service()
+        flaky = FlakyService(
+            inner, FaultSchedule(seed=1, delay_rate=1.0, delay_factor=10.0)
+        )
+        pattern = inner.signature.pattern("io")
+        clean = inner.invoke(pattern, {0: "q"}, page=0)
+        inner.reset()
+        delayed = flaky.invoke(pattern, {0: "q"}, page=0)
+        assert delayed.tuples == clean.tuples
+        assert delayed.ranks == clean.ranks
+        assert delayed.has_more == clean.has_more
+        assert delayed.latency == pytest.approx(clean.latency * 10.0)
+        assert flaky.injected["delay"] == 1
+
+    def test_attempt_aware_decisions_draw_independently(self):
+        schedule = FaultSchedule(seed=5, fail_rate=0.5)
+        base = schedule.decide("svc", "io", {0: "q"}, 0)
+        assert base == schedule.decide("svc", "io", {0: "q"}, 0, attempt=0)
+        draws = {
+            schedule.decide("svc", "io", {0: "q"}, 0, attempt=n)
+            for n in range(12)
+        }
+        assert None in draws and "fail" in draws  # retries can recover
+
+    def test_attempt_aware_flaky_service_eventually_succeeds(self):
+        inner = self._service()
+        flaky = FlakyService(
+            inner, FaultSchedule(seed=5, fail_rate=0.5), attempt_aware=True
+        )
+        pattern = inner.signature.pattern("io")
+        outcomes = []
+        for _ in range(12):
+            try:
+                outcomes.append(len(flaky.invoke(pattern, {0: "q"}, page=0)))
+            except faults.InjectedFault:
+                outcomes.append(None)
+        assert None in outcomes  # some attempts fail ...
+        assert any(o is not None for o in outcomes)  # ... but not all
+
+
+class TestZeroFaultBitIdentity:
+    """All resilience layers on + no faults == the plain engine."""
+
+    @pytest.mark.parametrize("shape", sorted(PLAN_SHAPES))
+    @pytest.mark.parametrize(
+        "mode_kwargs",
+        [
+            {"mode": ExecutionMode.PARALLEL},
+            {"mode": ExecutionMode.STREAMED},
+            {"mode": ExecutionMode.STREAMED, "lazy_streaming": False},
+        ],
+        ids=("full", "lazy", "eager"),
+    )
+    def test_resilient_engine_is_bit_identical(self, shape, mode_kwargs):
+        k = 5
+        registry, head, plan = PLAN_SHAPES[shape]()
+        plain = ExecutionEngine(registry, **mode_kwargs).execute(
+            plan, head=head, k=k
+        )
+        registry2, head2, plan2 = PLAN_SHAPES[shape]()
+        resilient = ExecutionEngine(
+            registry2, resilience=ALL_ON_QUIET, **mode_kwargs
+        ).execute(plan2, head=head2, k=k)
+        assert _sig(resilient.rows) == _sig(plain.rows)
+        assert _counters(resilient.stats) == _counters(plain.stats)
+        assert resilient.stats.elapsed == plain.stats.elapsed
+        for counter in ("retries", "hedged_pulls", "wasted_fetches",
+                        "demoted_blocks"):
+            assert getattr(resilient.stats, counter) == 0
+        # The certificate is present and witnesses completeness.
+        certificate = resilient.certificate
+        assert plain.certificate is None
+        assert certificate is not None and not certificate.is_partial
+        assert certificate.dropped == ()
+        assert certificate.dropped_services == ()
+        assert len(certificate.answer_units) == len(resilient.rows)
+        payload = json.loads(json.dumps(certificate.to_dict()))
+        assert payload["partial"] is False and payload["dropped"] == []
+
+
+class TestRetryDifferential:
+    """Sufficient retries == the fault-free oracle, bit for bit."""
+
+    @given(
+        st.integers(0, 10**6),
+        st.sampled_from(sorted(PLAN_SHAPES)),
+        st.sampled_from([0.1, 0.25, 0.4]),
+        st.integers(1, 8),
+        st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_retries_recover_the_oracle(self, seed, shape, rate, k, lazy):
+        mode_kwargs = (
+            {"mode": ExecutionMode.STREAMED}
+            if lazy
+            else {"mode": ExecutionMode.PARALLEL}
+        )
+        oracle_registry, head, oracle_plan = PLAN_SHAPES[shape]()
+        oracle = ExecutionEngine(oracle_registry, **mode_kwargs).execute(
+            oracle_plan, head=head, k=k
+        )
+        registry, head, plan = PLAN_SHAPES[shape]()
+        wrappers = wrap_registry_flaky(
+            registry, FaultSchedule(seed=seed, fail_rate=rate),
+            attempt_aware=True,
+        )
+        resilient = ExecutionEngine(
+            registry, resilience=RETRY_ALWAYS, **mode_kwargs
+        ).execute(plan, head=head, k=k)
+        assert _sig(resilient.rows) == _sig(oracle.rows)
+        # Failed attempts are wasted work, never per-service accounting
+        # (busy/remote excluded: backoff is charged to virtual time).
+        assert _counters(resilient.stats, with_remote=False) == _counters(
+            oracle.stats, with_remote=False
+        )
+        injected = sum(w.injected["fail"] for w in wrappers.values())
+        assert resilient.stats.retries == injected
+        assert resilient.stats.wasted_fetches == injected
+        assert resilient.stats.elapsed >= oracle.stats.elapsed
+
+
+class TestPartialResults:
+    """Capped retries demote honestly: top-k over the responsive rest."""
+
+    PARTIAL = ResilienceConfig(
+        retry=RetryPolicy(attempts=2), partial_results=True
+    )
+
+    def test_everything_dead_yields_empty_certified_answer(self):
+        registry, head, plan = _pair_plan()
+        wrap_registry_flaky(
+            registry, FaultSchedule(seed=3, fail_rate=1.0),
+            attempt_aware=True,
+        )
+        result = ExecutionEngine(
+            registry, mode=ExecutionMode.STREAMED,
+            resilience=self.PARTIAL,
+        ).execute(plan, head=head, k=4)
+        assert result.rows == []
+        certificate = result.certificate
+        assert certificate is not None and certificate.is_partial
+        assert certificate.dropped_services == ("lefts",) or set(
+            certificate.dropped_services
+        ) == {"lefts", "rights"}
+        assert certificate.responsive_services == tuple(
+            s for s in ("lefts", "rights")
+            if s not in certificate.dropped_services
+        )
+        assert result.stats.demoted_blocks == len(certificate.dropped)
+
+    @given(
+        st.integers(0, 10**6),
+        st.sampled_from(sorted(PLAN_SHAPES)),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_partial_answer_is_topk_over_responsive_subset(
+        self, seed, shape, k
+    ):
+        registry, head, plan = PLAN_SHAPES[shape]()
+        wrap_registry_flaky(
+            registry, FaultSchedule(seed=seed, fail_rate=0.3),
+            attempt_aware=True,
+        )
+        partial = ExecutionEngine(
+            registry, mode=ExecutionMode.STREAMED, resilience=self.PARTIAL,
+        ).execute(plan, head=head, k=k)
+        certificate = partial.certificate
+        assert certificate is not None
+
+        # Oracle: a clean registry with the dropped units masked up
+        # front must reproduce the partial answer bit-for-bit.
+        oracle_registry, head, oracle_plan = PLAN_SHAPES[shape]()
+        oracle_engine = ExecutionEngine(
+            oracle_registry, mode=ExecutionMode.STREAMED,
+            resilience=ResilienceConfig(partial_results=True),
+        )
+        for unit in certificate.dropped:
+            oracle_engine.mask_unit(unit.service, unit.input_key)
+        oracle = oracle_engine.execute(oracle_plan, head=head, k=k)
+        assert _sig(partial.rows) == _sig(oracle.rows)
+
+        # The oracle's certificate names the same dropped units.
+        assert oracle.certificate is not None
+        assert [u.token for u in oracle.certificate.dropped] == [
+            u.token for u in certificate.dropped
+        ]
+        # No returned answer is ever attributed to a dropped unit.
+        dropped_tokens = {u.token for u in certificate.dropped}
+        for units in certificate.answer_units:
+            assert not dropped_tokens.intersection(units)
+        assert partial.stats.demoted_blocks == len(certificate.dropped)
+
+    def test_serial_plan_keeps_responsive_blocks_of_a_flaky_service(self):
+        """A service with one dead block still answers from the others
+        (dropped_services names it, yet answers cite its live units)."""
+        registry, head, plan = _serial_plan()
+        engine = ExecutionEngine(
+            registry, mode=ExecutionMode.STREAMED,
+            resilience=ResilienceConfig(partial_results=True),
+        )
+        dead_key = ("ioo", ((0, 0),))  # the lefts block fed by X=0
+        engine.mask_unit("lefts", dead_key)
+        result = engine.execute(plan, head=head, k=6)
+        certificate = result.certificate
+        assert certificate is not None and certificate.is_partial
+        assert certificate.dropped_services == ("lefts",)
+        assert [u.token for u in certificate.dropped] == [
+            unit_token("lefts", dead_key)
+        ]
+        assert result.rows  # the X=1, X=2 blocks still produce answers
+        x = Variable("X")
+        assert all(row.bindings[x] != 0 for row in result.rows)
+        live_tokens = {
+            token for units in certificate.answer_units for token in units
+        }
+        assert any(token.startswith("lefts[") for token in live_tokens)
+
+
+class TestServingPartialResults:
+    def _registry_plan(self):
+        return _pair_plan()
+
+    def test_response_carries_the_certificate_json(self):
+        from repro.serving import QueryService
+        from repro.sources.weekend import (
+            mahler_weekend_query,
+            weekend_registry,
+        )
+
+        service = QueryService(
+            registry=weekend_registry(),
+            k_default=3,
+            resilience=ResilienceConfig(partial_results=True),
+        )
+        response = service.submit(mahler_weekend_query())
+        assert response.partial is not None
+        assert response.partial["partial"] is False
+        assert response.partial["dropped"] == []
+        assert response.partial["responsive_services"]
+        decoded = json.loads(response.to_json())
+        assert decoded["partial"] == response.partial
+
+    def test_faulted_serving_demotes_and_reports_honestly(self):
+        from repro.serving import QueryService
+        from repro.sources.weekend import (
+            mahler_weekend_query,
+            weekend_registry,
+        )
+
+        registry = weekend_registry()
+        wrap_registry_flaky(
+            registry, FaultSchedule(seed=9, fail_rate=1.0),
+            attempt_aware=True,
+        )
+        service = QueryService(
+            registry=registry,
+            k_default=3,
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(attempts=2), partial_results=True
+            ),
+        )
+        response = service.submit(mahler_weekend_query())
+        assert response.partial is not None
+        assert response.partial["partial"] is True
+        assert response.partial["dropped"]
+        assert response.rows == ()
+        json.loads(response.to_json())  # stays serializable
+
+    def test_without_resilience_the_field_stays_none(self):
+        from repro.serving import QueryService
+        from repro.sources.weekend import (
+            mahler_weekend_query,
+            weekend_registry,
+        )
+
+        service = QueryService(registry=weekend_registry(), k_default=3)
+        response = service.submit(mahler_weekend_query())
+        assert response.partial is None
+        assert json.loads(response.to_json())["partial"] is None

@@ -402,3 +402,113 @@ class TestSessionManagerLocking:
         assert stats.created == sum(submits)
         assert (stats.released + stats.evicted + stats.expired
                 + len(manager)) == stats.created
+
+
+class TestResilientServingConcurrency:
+    """Hedged/retried serving under threads (ISSUE 8 satellite).
+
+    Hedged duplicates and retried attempts run *below* the shared
+    ``ThreadSafeCache``, so threaded resilient submits must stay
+    request-by-request bit-identical to a sequential replay without
+    the resilience layer — and the shared cache must end up with
+    exactly the entries the sequential run stores (a duplicate that
+    double-stored or double-counted would show up here).
+    """
+
+    WORKERS = 6
+    REQUESTS_PER_WORKER = 8
+
+    def _streams(self, seed):
+        rng = random.Random(seed)
+        population = [
+            (market_moving_news_query(topic, sector), k)
+            for topic in _TOPICS
+            for sector in _SECTORS
+            for k in (2, 4)
+        ]
+        return [
+            [rng.choice(population) for _ in range(self.REQUESTS_PER_WORKER)]
+            for _ in range(self.WORKERS)
+        ]
+
+    def _replay_threaded(self, service, streams):
+        got = [[None] * len(stream) for stream in streams]
+        responses = [[None] * len(stream) for stream in streams]
+
+        def work(index):
+            for position, (query, k) in enumerate(streams[index]):
+                response = service.submit(query, k=k)
+                responses[index][position] = response
+                got[index][position] = _answer_signature(response)
+
+        _run_workers(self.WORKERS, work)
+        return got, [r for row in responses for r in row]
+
+    def test_threaded_hedged_submits_match_unhedged_replay(self):
+        from repro.execution.resilience import HedgePolicy, ResilienceConfig
+        from repro.testing import FaultSchedule, wrap_registry_flaky
+
+        # One deterministic faulted world (delay only: latency moves,
+        # tuples never do), served twice.
+        def flaky_news():
+            registry = news_registry()
+            wrap_registry_flaky(
+                registry, FaultSchedule(seed=80, delay_rate=1.0)
+            )
+            return registry
+
+        streams = self._streams(20260808)
+        sequential = _service(flaky_news)
+        expected = [
+            [_answer_signature(sequential.submit(query, k=k))
+             for query, k in stream]
+            for stream in streams
+        ]
+        hedged = _service(
+            flaky_news,
+            resilience=ResilienceConfig(hedge=HedgePolicy(threshold=5.0)),
+        )
+        got, responses = self._replay_threaded(hedged, streams)
+        assert got == expected
+        # Hedging fired, losers were traced as wasted work only.
+        assert sum(r.stats["hedged_pulls"] for r in responses) > 0
+        for response in responses:
+            assert response.stats["wasted_fetches"] >= (
+                response.stats["hedged_wins"]
+            )
+        # The shared cache holds exactly the sequential run's pages:
+        # no hedged duplicate ever stored an extra entry.
+        assert (hedged.snapshot()["service_cache"]["entries"]
+                == sequential.snapshot()["service_cache"]["entries"])
+        assert hedged.stats.optimizer_runs == sequential.stats.optimizer_runs
+
+    def test_threaded_retried_submits_match_fault_free_replay(self):
+        from repro.execution.resilience import ResilienceConfig, RetryPolicy
+        from repro.testing import FaultSchedule, wrap_registry_flaky
+
+        def flaky_news():
+            registry = news_registry()
+            wrap_registry_flaky(
+                registry, FaultSchedule(seed=81, fail_rate=0.3),
+                attempt_aware=True,
+            )
+            return registry
+
+        streams = self._streams(20260809)
+        clean = _service(news_registry)
+        expected = [
+            [_answer_signature(clean.submit(query, k=k))
+             for query, k in stream]
+            for stream in streams
+        ]
+        resilient = _service(
+            flaky_news,
+            resilience=ResilienceConfig(retry=RetryPolicy(attempts=40)),
+        )
+        got, responses = self._replay_threaded(resilient, streams)
+        assert got == expected
+        # Failed attempts appear only in the wasted-work trace; the
+        # per-service accounting matches the fault-free replay.
+        assert sum(r.stats["retries"] for r in responses) > 0
+        assert (resilient.snapshot()["service_cache"]["entries"]
+                == clean.snapshot()["service_cache"]["entries"])
