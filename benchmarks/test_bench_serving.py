@@ -21,7 +21,10 @@ layer and measures what the subsystem was built to amortize:
   round-robin against one shared fleet over the SQLite WAL tier; every
   answer must be bit-identical to the sequential cold oracle and the
   plan-cache accounting must match the sequential schedule exactly
-  (single-flight: misses == distinct templates touched, for any N).
+  (single-flight: misses == distinct templates touched, for any N);
+  each sweep point also records p50/p95/p99 per-request wall latency —
+  the tail is what concurrent tenants feel, and a mean would hide
+  single-flight stalls behind the cache-hit majority.
 
 Every distinct template is also verified differentially: the warm
 fleet's answer (plan rebuilt from the cached spec, pages largely from
@@ -160,11 +163,22 @@ def _remove_sqlite_files(path):
             sibling.unlink()
 
 
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over pre-sorted per-request latencies."""
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(fraction * len(sorted_values) + 0.5) - 1))
+    return sorted_values[rank]
+
+
 def _threaded_replay(fleet, population, stream, workers) -> dict:
     """Replay *stream* round-robin across *workers* barrier-started
-    threads against one shared fleet; returns timing plus the answer
-    signature of every request, indexed by position in the stream."""
+    threads against one shared fleet; returns timing (throughput plus
+    p50/p95/p99 per-request latency — tail latency is what concurrent
+    tenants feel, and a mean hides single-flight stalls behind cache
+    hits) and the answer signature of every request, indexed by
+    position in the stream."""
     signatures: list = [None] * len(stream)
+    latencies: list[float] = [0.0] * len(stream)
     barrier = threading.Barrier(workers)
     errors: list[BaseException] = []
 
@@ -173,7 +187,9 @@ def _threaded_replay(fleet, population, stream, workers) -> dict:
             barrier.wait()
             for position in range(worker_index, len(stream), workers):
                 domain, _, query = population[stream[position]]
+                begun = time.perf_counter()
                 response = fleet[domain].submit(query, k=K)
+                latencies[position] = time.perf_counter() - begun
                 signatures[position] = _answer_signature(response)
         except BaseException as error:  # pragma: no cover - fail loudly
             errors.append(error)
@@ -190,11 +206,17 @@ def _threaded_replay(fleet, population, stream, workers) -> dict:
     elapsed = max(time.perf_counter() - start, 1e-9)
     if errors:
         raise errors[0]
+    ordered = sorted(latencies)
     return {
         "workers": workers,
         "requests": len(stream),
         "wall_s": round(elapsed, 3),
         "requests_per_s": round(len(stream) / elapsed, 1),
+        "latency_ms": {
+            "p50": round(_percentile(ordered, 0.50) * 1000, 3),
+            "p95": round(_percentile(ordered, 0.95) * 1000, 3),
+            "p99": round(_percentile(ordered, 0.99) * 1000, 3),
+        },
         "signatures": signatures,
     }
 
@@ -278,6 +300,10 @@ class TestServingTrajectory:
                 assert swept_cache.stats.hit_rate >= 0.95, (
                     f"hit rate regressed: {swept_cache.stats.hit_rate:.2%}"
                 )
+            percentiles = run["latency_ms"]
+            assert 0 < percentiles["p50"] <= percentiles["p95"] <= (
+                percentiles["p99"]
+            )
             run["plan_cache"] = swept_cache.stats.to_dict()
             run["hit_rate"] = round(swept_cache.stats.hit_rate, 4)
             run["backend"] = swept_cache.backend_name

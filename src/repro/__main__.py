@@ -7,8 +7,10 @@ Commands
     Regenerate every table and figure of the paper (Section 6) and
     print them next to the published values.
 
-``demo [travel|bio|biblio|weekend]``
-    Optimize and execute the showcase query of a built-in domain.
+``demo [travel|bio|biblio|biblio-sqlite|biblio-fts|weekend]``
+    Optimize and execute the showcase query of a built-in domain
+    (the ``biblio-*`` variants serve the bibliographic corpus from
+    persistent indexed SQLite / FTS5 backends).
 
 ``optimize --domain NAME "q(X) :- ..."``
     Optimize (and optionally execute) an ad-hoc datalog query against a
@@ -50,6 +52,14 @@ _DOMAINS = {
     ),
     "bio": ("repro.sources.bio", "bio_registry", "glycolysis_homolog_query"),
     "biblio": ("repro.sources.biblio", "biblio_registry", "experts_query"),
+    # The same bibliographic domain served from persistent indexed
+    # backends (repro.services.sqlite): B-tree paging / FTS5 BM25.
+    "biblio-sqlite": (
+        "repro.sources.biblio", "biblio_registry_sqlite", "experts_query"
+    ),
+    "biblio-fts": (
+        "repro.sources.biblio", "biblio_registry_fts5", "experts_query"
+    ),
     "weekend": (
         "repro.sources.weekend", "weekend_registry", "mahler_weekend_query"
     ),
@@ -124,6 +134,7 @@ def _make_query_service(args):
         k_default=args.k,
         plan_cache=plan_cache,
         resilience=_resilience_config(args),
+        row_provenance=getattr(args, "provenance", False),
     )
     return service, showcase
 
@@ -187,6 +198,12 @@ def _add_resilience_flags(parser) -> None:
         help="when retries are exhausted, drop the unresponsive "
         "service block and answer over the rest, attaching a "
         "certificate naming every dropped unit",
+    )
+    parser.add_argument(
+        "--provenance", action="store_true",
+        help="attach per-row provenance to every answer: the "
+        "(service, input, page, epoch) of each page pull that "
+        "contributed to the row (answers themselves are unchanged)",
     )
 
 

@@ -192,6 +192,7 @@ class ExecutionEngine:
         lazy_streaming: bool = True,
         slot_rows: bool = True,
         resilience: ResilienceConfig | None = None,
+        row_provenance: bool = False,
     ) -> None:
         self._registry = registry
         self._cache_setting = cache_setting
@@ -216,6 +217,15 @@ class ExecutionEngine:
         #: forces the dict-row oracle everywhere — the "before" side of
         #: the hotpaths bench and the differential tests.
         self._slot_rows = slot_rows
+        #: Opt-in per-row audit trail: every row produced by a service
+        #: node carries a ``(service, input key, page)`` record
+        #: (:data:`~repro.execution.results.ProvenanceRecord`), and
+        #: joins concatenate their inputs' records.  Off by default —
+        #: disabled executions build rows with the empty tuple
+        #: everywhere, bit-identical to the historical engine.
+        #: Provenance never influences ranks, ordering, or join
+        #: decisions, so enabling it changes no answer row either.
+        self._row_provenance = row_provenance
 
     def execute(
         self,
@@ -526,8 +536,15 @@ class ExecutionEngine:
                 predicates = slot.predicates
                 merged_variables = slot.variables
                 row_ranks = row.ranks
-                for result in pages:
+                row_provenance = row.provenance
+                for page_index, result in enumerate(pages):
                     ranks = result.ranks or (None,) * len(result.tuples)
+                    provenance = (
+                        row_provenance
+                        + ((node.service_name, input_key, page_index),)
+                        if self._row_provenance
+                        else row_provenance
+                    )
                     for values, rank in zip(result.tuples, ranks):
                         if len(values) < arity:
                             raise ExecutionError(
@@ -547,10 +564,11 @@ class ExecutionEngine:
                                     if rank is None
                                     else row_ranks + ((node_id, rank),)
                                 ),
+                                provenance=provenance,
                             )
                         )
                 continue
-            for result in pages:
+            for page_index, result in enumerate(pages):
                 ranks = result.ranks or (None,) * len(result.tuples)
                 for values, rank in zip(result.tuples, ranks):
                     merged = self._bind_outputs(row, values, output_terms)
@@ -558,6 +576,10 @@ class ExecutionEngine:
                         continue
                     if rank is not None:
                         merged = merged.with_rank(node.node_id, rank)
+                    if self._row_provenance:
+                        merged = merged.with_provenance(
+                            (node.service_name, input_key, page_index)
+                        )
                     if all(p.holds(merged.bindings) for p in node.predicates):
                         produced.append(merged)
         node_busy = self._node_busy(latencies)
@@ -675,8 +697,14 @@ class ExecutionEngine:
             else:
                 fresh[term] = value
         if fresh is None:
-            return Row(bindings=bindings, ranks=row.ranks)
-        return Row(bindings={**bindings, **fresh}, ranks=row.ranks)
+            return Row(
+                bindings=bindings, ranks=row.ranks, provenance=row.provenance
+            )
+        return Row(
+            bindings={**bindings, **fresh},
+            ranks=row.ranks,
+            provenance=row.provenance,
+        )
 
     def _run_join_node(
         self,
@@ -1010,6 +1038,10 @@ class _LazyServicePageSource:
                 continue
             if rank is not None:
                 merged = merged.with_rank(node.node_id, rank)
+            if self._engine._row_provenance:
+                merged = merged.with_provenance(
+                    (node.service_name, self.input_key, page)
+                )
             if all(p.holds(merged.bindings) for p in node.predicates):
                 rows.append(merged)
         if result.ranks:

@@ -325,6 +325,7 @@ def _hashed_join_slot_path(
                 Row(
                     bindings=dict(zip(merged_variables, merged)),
                     ranks=left[i].ranks + right[j].ranks,
+                    provenance=left[i].provenance + right[j].provenance,
                 )
             )
     return output
@@ -600,6 +601,9 @@ class JoinStream:
                 row = Row(
                     bindings=dict(zip(merged_variables, merged)),
                     ranks=left_rows[i].ranks + right_rows[j].ranks,
+                    provenance=(
+                        left_rows[i].provenance + right_rows[j].provenance
+                    ),
                 )
                 self._candidates.append((rank, len(self._candidates), row))
             self._stage += 1

@@ -86,6 +86,7 @@ class ParallelExecutor:
         thread_overhead: float = 0.05,
         slot_rows: bool = True,
         resilience: ResilienceConfig | None = None,
+        row_provenance: bool = False,
     ) -> None:
         self._registry = registry
         self._cache_setting = cache_setting
@@ -105,6 +106,7 @@ class ParallelExecutor:
             thread_overhead=thread_overhead,
             slot_rows=slot_rows,
             resilience=resilience,
+            row_provenance=row_provenance,
         )
 
     @property

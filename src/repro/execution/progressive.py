@@ -114,6 +114,11 @@ class ProgressiveExecutor:
     #: rounds on the engine's mask, so a continuation never re-awaits
     #: a block already proven unresponsive.
     resilience: ResilienceConfig | None = None
+    #: Opt-in per-row ``(service, input key, page)`` audit records
+    #: (:data:`~repro.execution.results.ProvenanceRecord`); provenance
+    #: rides inside :class:`~repro.execution.results.Row`, so resumed
+    #: stream rounds carry it automatically.
+    row_provenance: bool = False
     rounds: list[ProgressiveRound] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -123,6 +128,7 @@ class ProgressiveExecutor:
             mode=self.mode,
             lazy_streaming=self.lazy_streaming,
             resilience=self.resilience,
+            row_provenance=self.row_provenance,
         )
         # One shared cache across all rounds: continuations are free
         # where they overlap with what was already fetched.

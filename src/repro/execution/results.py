@@ -18,6 +18,14 @@ from typing import Mapping, Sequence
 
 from repro.model.terms import Variable
 
+#: One per-row provenance record: ``(service name, input key, page)``
+#: — which service invocation (with which bound inputs) and which page
+#: of its chunked output contributed a tuple to the row.  The input
+#: key is the engine's ``(pattern code, ((position, value), ...))``
+#: cache/accounting key, so a record names exactly one logical-cache
+#: unit and one :class:`PartialResultCertificate` block.
+ProvenanceRecord = tuple[str, tuple, int]
+
 
 @dataclass(frozen=True, slots=True)
 class Row:
@@ -28,10 +36,19 @@ class Row:
     engine's high-volume paths additionally carry them as slot-indexed
     value tuples (see ``repro.execution.slots``) between node
     boundaries.
+
+    ``provenance`` holds one :data:`ProvenanceRecord` per contributing
+    service page pull, in contribution order.  It is populated only
+    when the engine runs with ``row_provenance=True``; the default
+    stays the empty tuple everywhere, so disabled executions build
+    byte-identical rows to the historical ones.  Provenance never
+    participates in :meth:`rank_key`, equality of bindings, or any
+    join/ordering decision — it is an audit trail riding along.
     """
 
     bindings: Mapping[Variable, object]
     ranks: tuple[tuple[str, int], ...] = ()
+    provenance: tuple[ProvenanceRecord, ...] = ()
 
     def value(self, variable: Variable) -> object:
         """The value bound to *variable*."""
@@ -43,7 +60,19 @@ class Row:
 
     def with_rank(self, node_id: str, rank: int) -> "Row":
         """Copy of the row with one more rank annotation."""
-        return Row(bindings=self.bindings, ranks=self.ranks + ((node_id, rank),))
+        return Row(
+            bindings=self.bindings,
+            ranks=self.ranks + ((node_id, rank),),
+            provenance=self.provenance,
+        )
+
+    def with_provenance(self, record: ProvenanceRecord) -> "Row":
+        """Copy of the row with one more provenance record."""
+        return Row(
+            bindings=self.bindings,
+            ranks=self.ranks,
+            provenance=self.provenance + (record,),
+        )
 
     def merged_with(self, other: "Row") -> "Row | None":
         """Natural-join merge: None when shared variables disagree.
@@ -63,8 +92,16 @@ class Row:
             else:
                 fresh[variable] = value
         if fresh is None:
-            return Row(bindings=mine, ranks=self.ranks + other.ranks)
-        return Row(bindings={**mine, **fresh}, ranks=self.ranks + other.ranks)
+            return Row(
+                bindings=mine,
+                ranks=self.ranks + other.ranks,
+                provenance=self.provenance + other.provenance,
+            )
+        return Row(
+            bindings={**mine, **fresh},
+            ranks=self.ranks + other.ranks,
+            provenance=self.provenance + other.provenance,
+        )
 
     def project(self, head: Sequence[Variable]) -> tuple:
         """The output tuple for the query head."""

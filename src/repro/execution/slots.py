@@ -101,10 +101,17 @@ class SlotLayout:
         return encoded
 
     def decode(
-        self, values: tuple, ranks: tuple[tuple[str, int], ...] = ()
+        self,
+        values: tuple,
+        ranks: tuple[tuple[str, int], ...] = (),
+        provenance: tuple = (),
     ) -> Row:
         """A :class:`Row` over this layout (the result boundary)."""
-        return Row(bindings=dict(zip(self.variables, values)), ranks=ranks)
+        return Row(
+            bindings=dict(zip(self.variables, values)),
+            ranks=ranks,
+            provenance=provenance,
+        )
 
     def __len__(self) -> int:
         return len(self.variables)

@@ -25,6 +25,15 @@ from repro.services.registry import (
     RegistryError,
     ServiceRegistry,
 )
+from repro.services.sqlite import (
+    FTS5SearchService,
+    SQLiteExactService,
+    SQLiteSearchService,
+    SQLiteTableService,
+    fts5_available,
+    sqlite_exact_service,
+    sqlite_search_service,
+)
 from repro.services.table import (
     TableExactService,
     TableSearchService,
@@ -34,6 +43,7 @@ from repro.services.table import (
 
 __all__ = [
     "DEFAULT_JOIN_SELECTIVITY",
+    "FTS5SearchService",
     "InvocationError",
     "InvocationResult",
     "JoinMethod",
@@ -41,6 +51,9 @@ __all__ = [
     "ProfileError",
     "ProfileEstimate",
     "RegistryError",
+    "SQLiteExactService",
+    "SQLiteSearchService",
+    "SQLiteTableService",
     "Service",
     "ServiceKind",
     "ServiceProfile",
@@ -51,6 +64,7 @@ __all__ = [
     "exact_profile",
     "exact_service",
     "format_profile_table",
+    "fts5_available",
     "profile_services",
     "search_profile",
     "search_service",

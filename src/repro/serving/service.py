@@ -101,6 +101,16 @@ class QueryResponse:
     :class:`~repro.execution.resilience.PartialResultCertificate`).
     ``None`` when partial mode is off; a dict with ``"partial": False``
     and no drops is a completeness witness.
+
+    ``row_provenance`` is the opt-in per-row audit trail
+    (``QueryService(row_provenance=True)``): one record list per
+    answer row, each record a dict with ``service`` (service name),
+    ``input`` (the ``[pattern code, [[position, value], ...]]`` cache
+    key the call was made under), ``page`` (the 0-based page index the
+    tuple came from), and ``epoch`` (the registry content epoch the
+    answer was computed against).  ``None`` when disabled — and the
+    key is then omitted from :meth:`to_dict`/:meth:`to_json` entirely,
+    so disabled responses are byte-identical to pre-provenance ones.
     """
 
     session_id: str
@@ -119,10 +129,11 @@ class QueryResponse:
     epoch: str
     stats: dict
     partial: dict | None = None
+    row_provenance: tuple[tuple[dict, ...], ...] | None = None
 
     def to_dict(self) -> dict:
         """Plain-data rendering (everything JSON-serializable)."""
-        return {
+        rendered = {
             "session_id": self.session_id,
             "k": self.k,
             "columns": list(self.columns),
@@ -141,6 +152,14 @@ class QueryResponse:
             "stats": self.stats,
             "partial": self.partial,
         }
+        # Omitted (not null) when disabled: the rendering of a
+        # provenance-off response must not change by a byte.
+        if self.row_provenance is not None:
+            rendered["row_provenance"] = [
+                [dict(record) for record in row_records]
+                for row_records in self.row_provenance
+            ]
+        return rendered
 
     def to_json(self) -> str:
         """The response as a JSON string."""
@@ -212,6 +231,13 @@ class QueryService:
     #: service runs (:mod:`repro.execution.resilience`); None serves
     #: with the historical fail-fast engine, bit-identically.
     resilience: ResilienceConfig | None = None
+    #: Opt-in per-row provenance: responses carry, for every answer
+    #: row, the ``(service, input key, page, epoch)`` records of the
+    #: service pulls that produced it.  Answer rows, ranks, and order
+    #: are unchanged either way (provenance is an audit trail the
+    #: engine threads through :class:`~repro.execution.results.Row`);
+    #: disabled responses render byte-identically to before.
+    row_provenance: bool = False
     stats: ServingStats = field(default_factory=ServingStats)
 
     def __post_init__(self) -> None:
@@ -265,6 +291,7 @@ class QueryService:
             shared_cache=self._service_cache,
             reset_remote=False,
             resilience=self.resilience,
+            row_provenance=self.row_provenance,
         )
         result = executor.run(k)
         session = self.sessions.create(
@@ -509,6 +536,11 @@ class QueryService:
             "wasted_fetches": sum(s.wasted_fetches for s in round_stats),
         }
         certificate = result.certificate
+        row_provenance = (
+            tuple(self._provenance_records(row, epoch) for row in top)
+            if self.row_provenance
+            else None
+        )
         return QueryResponse(
             session_id=session_id,
             k=k,
@@ -524,4 +556,31 @@ class QueryService:
             epoch=epoch,
             stats=stats,
             partial=certificate.to_dict() if certificate else None,
+            row_provenance=row_provenance,
+        )
+
+    @staticmethod
+    def _provenance_records(row, epoch: str) -> tuple[tuple[tuple, ...], ...]:
+        """One answer row's provenance, JSON-ready and epoch-stamped.
+
+        Each engine record is ``(service, (pattern, ((pos, value),
+        ...)), page)``; the rendering flattens the input key into
+        nested lists and stamps the registry content epoch the answer
+        was computed against, giving the
+        ``(service, input key, page index, epoch)`` record format.
+        Rendered as sorted key/value pair tuples so the frozen
+        response dataclass stays hashable; :meth:`QueryResponse.
+        to_dict` turns each record back into a plain dict.
+        """
+        return tuple(
+            (
+                ("epoch", epoch),
+                (
+                    "input",
+                    (pattern, tuple((pos, value) for pos, value in bound)),
+                ),
+                ("page", page),
+                ("service", service),
+            )
+            for service, (pattern, bound), page in row.provenance
         )

@@ -16,17 +16,40 @@ Services:
 The deterministic corpus embeds a planted ground truth (a small group
 of prolific authors with funded projects) so tests can check both the
 plan mechanics and the answers.
+
+Two extensions support experiments beyond the toy corpus:
+
+* :func:`generate_corpus` produces a DBLP-style bibliography at any
+  scale (100k+ papers) with the same planted ground truth, so the
+  indexed backends can be exercised where an in-memory scan becomes
+  the bottleneck;
+* :func:`biblio_registry` takes a ``backend`` argument choosing the
+  service implementation — ``"memory"`` (the in-memory tables, the
+  default, unchanged), ``"sqlite"`` (B-tree indexed
+  :mod:`repro.services.sqlite` services, bit-identical answers), or
+  ``"fts5"`` (the publication index served from an FTS5 full-text
+  table under BM25 ranking — same interface, a different but
+  internally consistent ranking regime).
 """
 
 from __future__ import annotations
+
+import random
+from pathlib import Path
 
 from repro.model.atoms import Atom
 from repro.model.predicates import Comparison
 from repro.model.query import ConjunctiveQuery
 from repro.model.schema import ServiceSignature, signature
 from repro.model.terms import Constant, Variable
+from repro.services.base import Service
 from repro.services.profile import exact_profile, search_profile
 from repro.services.registry import ServiceRegistry
+from repro.services.sqlite import (
+    FTS5SearchService,
+    SQLiteExactService,
+    SQLiteSearchService,
+)
 from repro.services.table import TableExactService, TableSearchService
 
 PUBSEARCH_CHUNK = 10
@@ -84,37 +107,180 @@ def _corpus() -> tuple[list[tuple], list[tuple], list[tuple]]:
     return papers, authorships, projects
 
 
-def biblio_registry() -> ServiceRegistry:
-    """Registry with the three bibliographic services."""
-    papers, authorships, project_rows = _corpus()
-    registry = ServiceRegistry()
-    registry.register(
-        TableSearchService(
-            pubsearch_signature(),
-            search_profile(chunk_size=PUBSEARCH_CHUNK, response_time=PUBSEARCH_TAU),
-            [row[:4] for row in papers],
-            # Relevance is the hidden score (stored separately above).
-            score=_relevance_index(papers),
-        )
+_TITLE_NOUNS = (
+    "study", "survey", "framework", "architecture", "evaluation",
+    "benchmark", "algorithm", "system", "approach", "analysis",
+)
+
+
+def generate_corpus(
+    n_papers: int = 1000, seed: int = 0
+) -> tuple[list[tuple], list[tuple], list[tuple]]:
+    """A DBLP-style bibliography at parameterized scale.
+
+    Returns ``(papers, authorships, projects)`` in the exact shape of
+    the toy :func:`_corpus` — papers are ``(topic, paper_id, title,
+    year, relevance)`` 5-tuples whose hidden relevance strictly
+    decreases with rank inside each topic, authorships are ``(paper,
+    author)``, projects are ``(author, project, programme)`` — so the
+    same registry builders, score index, and :func:`experts_query`
+    work unchanged from 1k to 100k+ papers.  Deterministic in
+    ``(n_papers, seed)``; all values are ``str``/``int``/``float``
+    (the SQLite-exact type domain).  The planted ground truth is
+    preserved: the :func:`planted_experts` author the top papers of
+    their pet topics and hold accepted EU projects, and an author
+    pool scaling with the corpus (~0.6 authors per paper, a DBLP-ish
+    ratio) supplies 1–3 coauthors per paper.
+    """
+    if n_papers < len(_TOPICS):
+        raise ValueError(f"need at least {len(_TOPICS)} papers, got {n_papers}")
+    rng = random.Random(seed)
+    pool = [
+        f"Author{index:06d}"
+        for index in range(max(len(_OTHERS), int(n_papers * 0.6)))
+    ]
+    papers: list[tuple] = []
+    authorships: list[tuple] = []
+    projects: list[tuple] = []
+    topic_ranks = [0] * len(_TOPICS)
+    for counter in range(n_papers):
+        topic_index = counter % len(_TOPICS)
+        topic = _TOPICS[topic_index]
+        rank = topic_ranks[topic_index]
+        topic_ranks[topic_index] += 1
+        paper_id = f"P{counter + 1:07d}"
+        year = 2008 - (rank % 6)
+        relevance = float(1_000_000 - rank * 31 - topic_index)
+        title = f"{topic} {rng.choice(_TITLE_NOUNS)} {rank + 1}"
+        papers.append((topic, paper_id, title, year, relevance))
+        coauthors = {
+            pool[rng.randrange(len(pool))] for _ in range(1 + rng.randrange(3))
+        }
+        if rank < 12:
+            # Experts author the top papers of their pet topic, as in
+            # the toy corpus — the planted ground truth.
+            coauthors.add(_EXPERTS[(topic_index + rank) % len(_EXPERTS)])
+        authorships.extend((paper_id, author) for author in sorted(coauthors))
+    for index, expert in enumerate(_EXPERTS):
+        projects.append((expert, f"EU-FP7-{index + 101}", "FP7"))
+        if index % 2 == 0:
+            projects.append((expert, f"EU-FP6-{index + 201}", "FP6"))
+    # A sparse sprinkle of non-expert investigators (selective join).
+    for index in range(0, len(pool), 37):
+        projects.append((pool[index], f"EU-FP7-{index + 301}", "FP7"))
+    return papers, authorships, projects
+
+
+def _pubsearch_service(
+    backend: str,
+    papers: list[tuple],
+    path: Path | str | None,
+) -> Service:
+    profile = search_profile(
+        chunk_size=PUBSEARCH_CHUNK, response_time=PUBSEARCH_TAU
     )
+    rows = [row[:4] for row in papers]
+    if backend == "memory":
+        # Relevance is the hidden score (stored separately in the corpus).
+        return TableSearchService(
+            pubsearch_signature(), profile, rows, score=_relevance_index(papers)
+        )
+    if backend == "sqlite":
+        return SQLiteSearchService(
+            pubsearch_signature(),
+            profile,
+            rows,
+            score=_relevance_index(papers),
+            path=None if path is None else Path(path) / "pubsearch.db",
+        )
+    # FTS5: the keyword column is the MATCH query; titles embed the
+    # topic words, so indexing the document text finds them — ranked
+    # by BM25 instead of the planted relevance (a different, internally
+    # consistent ranking regime over the same interface).
+    return FTS5SearchService(
+        pubsearch_signature(),
+        profile,
+        [row[1:4] for row in papers],
+        query_position=0,
+        text_of=lambda document: str(document[1]),
+        path=None if path is None else Path(path) / "pubsearch.db",
+    )
+
+
+def _exact_service(
+    backend: str,
+    signature_: ServiceSignature,
+    profile,
+    rows: list[tuple],
+    path: Path | str | None,
+    pattern_profiles=None,
+) -> Service:
+    if backend in ("sqlite", "fts5"):
+        return SQLiteExactService(
+            signature_,
+            profile,
+            rows,
+            path=None if path is None else Path(path) / f"{signature_.name}.db",
+            pattern_profiles=pattern_profiles,
+        )
+    return TableExactService(
+        signature_, profile, rows, pattern_profiles=pattern_profiles
+    )
+
+
+def biblio_registry(
+    backend: str = "memory",
+    corpus: tuple[list[tuple], list[tuple], list[tuple]] | None = None,
+    path: Path | str | None = None,
+) -> ServiceRegistry:
+    """Registry with the three bibliographic services.
+
+    ``backend`` selects the service implementation: ``"memory"`` (the
+    default — in-memory tables, exactly as before), ``"sqlite"``
+    (B-tree indexed, bit-identical answers), or ``"fts5"`` (the
+    publication index under BM25 full-text ranking; the exact
+    services stay on SQLite B-trees).  ``corpus`` substitutes a
+    generated corpus (:func:`generate_corpus`) for the toy one;
+    ``path`` is a directory for the SQLite backends' database files
+    (in-memory databases when None).
+    """
+    if backend not in ("memory", "sqlite", "fts5"):
+        raise ValueError(f"unknown biblio backend {backend!r}")
+    papers, authorships, project_rows = corpus if corpus is not None else _corpus()
+    registry = ServiceRegistry()
+    registry.register(_pubsearch_service(backend, papers, path))
     registry.register(
-        TableExactService(
+        _exact_service(
+            backend,
             authors_signature(),
             exact_profile(erspi=2.4, response_time=AUTHORS_TAU),
             authorships,
+            path,
             pattern_profiles={
                 "oi": exact_profile(erspi=8.0, response_time=AUTHORS_TAU)
             },
         )
     )
     registry.register(
-        TableExactService(
+        _exact_service(
+            backend,
             projects_signature(),
             exact_profile(erspi=0.4, response_time=PROJECTS_TAU),
             project_rows,
+            path,
         )
     )
     return registry
+
+
+def biblio_registry_sqlite() -> ServiceRegistry:
+    """The bibliographic registry on the indexed SQLite backend."""
+    return biblio_registry(backend="sqlite")
+
+
+def biblio_registry_fts5() -> ServiceRegistry:
+    """The bibliographic registry with an FTS5 publication index."""
+    return biblio_registry(backend="fts5")
 
 
 def _relevance_index(papers: list[tuple]):

@@ -2,7 +2,7 @@
 
 Promoted out of ``tests/`` so benchmarks, the serving suites, and
 downstream experiments can inject deterministic faults without path
-hacks; ``tests/fault_injection.py`` remains as a re-export shim.
+hacks.
 """
 
 from repro.testing.faults import (

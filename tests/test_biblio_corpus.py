@@ -1,0 +1,133 @@
+"""The bibliographic corpus generator and backend-parameterized registry.
+
+:func:`repro.sources.biblio.generate_corpus` must scale the toy domain
+without changing its contract: same row shapes, same planted ground
+truth, deterministic in ``(n_papers, seed)``, values inside the
+SQLite-exact type domain so every backend serves it identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.services.sqlite import (
+    FTS5SearchService,
+    SQLiteExactService,
+    fts5_available,
+)
+from repro.services.table import TableExactService, TableSearchService
+from repro.sources.biblio import (
+    _relevance_index,
+    biblio_registry,
+    biblio_registry_fts5,
+    biblio_registry_sqlite,
+    generate_corpus,
+    planted_experts,
+)
+
+
+class TestGenerateCorpus:
+    def test_deterministic_in_size_and_seed(self):
+        assert generate_corpus(300, seed=5) == generate_corpus(300, seed=5)
+        assert generate_corpus(300, seed=5) != generate_corpus(300, seed=6)
+
+    def test_shapes_match_the_toy_corpus(self):
+        papers, authorships, projects = generate_corpus(200, seed=0)
+        assert len(papers) == 200
+        assert all(len(row) == 5 for row in papers)
+        assert all(len(row) == 2 for row in authorships)
+        assert all(len(row) == 3 for row in projects)
+        kinds = {
+            type(value)
+            for relation in (papers, authorships, projects)
+            for row in relation
+            for value in row
+        }
+        assert kinds <= {str, int, float}  # the SQLite-exact type domain
+        # Paper ids are unique; every authorship references a paper.
+        ids = {row[1] for row in papers}
+        assert len(ids) == len(papers)
+        assert {paper for paper, _ in authorships} <= ids
+
+    def test_relevance_strictly_decreases_per_topic(self):
+        papers, _, _ = generate_corpus(300, seed=2)
+        by_topic: dict[str, list[float]] = {}
+        for topic, _, _, _, relevance in papers:
+            by_topic.setdefault(topic, []).append(relevance)
+        for scores in by_topic.values():
+            assert scores == sorted(scores, reverse=True)
+            assert len(set(scores)) == len(scores)
+
+    def test_planted_ground_truth_survives_scaling(self):
+        papers, authorships, projects = generate_corpus(800, seed=1)
+        experts = set(planted_experts())
+        authored = {author for _, author in authorships}
+        investigators = {author for author, _, _ in projects}
+        assert experts <= authored
+        assert experts <= investigators
+        # Experts own the very top of each topic's ranking.
+        score = _relevance_index(papers)
+        for topic in {row[0] for row in papers}:
+            best = max(
+                (row for row in papers if row[0] == topic),
+                key=lambda row: score((row[0], row[1])),
+            )
+            top_authors = {
+                author for paper, author in authorships if paper == best[1]
+            }
+            assert top_authors & experts
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            generate_corpus(2)
+
+
+class TestBackendSelection:
+    def test_default_registry_is_in_memory_and_unchanged(self):
+        registry = biblio_registry()
+        assert isinstance(registry.service("pubsearch"), TableSearchService)
+        assert isinstance(registry.service("authors"), TableExactService)
+        assert registry.names == ("pubsearch", "authors", "projects")
+
+    def test_sqlite_backend_services(self):
+        registry = biblio_registry_sqlite()
+        assert isinstance(registry.service("authors"), SQLiteExactService)
+        assert isinstance(registry.service("projects"), SQLiteExactService)
+        assert type(registry.service("pubsearch")).__name__ == (
+            "SQLiteSearchService"
+        )
+
+    @pytest.mark.skipif(not fts5_available(), reason="sqlite3 lacks FTS5")
+    def test_fts5_backend_services(self):
+        registry = biblio_registry_fts5()
+        assert isinstance(registry.service("pubsearch"), FTS5SearchService)
+        assert isinstance(registry.service("authors"), SQLiteExactService)
+
+    @pytest.mark.skipif(not fts5_available(), reason="sqlite3 lacks FTS5")
+    def test_backends_share_the_content_epoch(self):
+        # Same signatures + profiles → same epoch: the plan cache is
+        # backend-neutral (plans depend on profiles, not storage).
+        epochs = {
+            biblio_registry().content_epoch(),
+            biblio_registry_sqlite().content_epoch(),
+            biblio_registry_fts5().content_epoch(),
+        }
+        assert len(epochs) == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown biblio backend"):
+            biblio_registry(backend="parquet")
+
+    def test_disk_backed_registry(self, tmp_path):
+        corpus = generate_corpus(120, seed=4)
+        registry = biblio_registry(
+            backend="sqlite", corpus=corpus, path=tmp_path
+        )
+        assert (tmp_path / "pubsearch.db").exists()
+        assert (tmp_path / "authors.db").exists()
+        memory = biblio_registry(backend="memory", corpus=corpus)
+        pattern = memory.signature("authors").pattern("io")
+        paper = corpus[1][0][0]
+        a = memory.service("authors").invoke(pattern, {0: paper})
+        b = registry.service("authors").invoke(pattern, {0: paper})
+        assert a.tuples == b.tuples

@@ -1,0 +1,65 @@
+"""The shared content-digest idiom: stability, canonicality, length.
+
+Every fingerprint site (profiles, registry epochs, query fingerprints,
+plan-cache keys) routes through :func:`repro.digest.content_digest`;
+these tests pin the properties those sites rely on — key-order
+independence, sensitivity to any value change, the truncation length —
+plus a golden value so an accidental change to the serialization or
+hash breaks loudly (it would silently invalidate every persisted plan
+cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.digest import DIGEST_LENGTH, content_digest
+
+_JSON = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False)
+    | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=4), children, max_size=4),
+    max_leaves=10,
+)
+
+
+def test_golden_value():
+    # Pinned: changing the serialization or hash silently invalidates
+    # every persisted plan cache — make that a visible failure instead.
+    assert content_digest({"a": 1}) == (
+        hashlib.sha256(b'{"a": 1}').hexdigest()[:DIGEST_LENGTH]
+    )
+    assert content_digest([]) == hashlib.sha256(b"[]").hexdigest()[:16]
+
+
+def test_key_order_independent():
+    assert content_digest({"a": 1, "b": [2, 3]}) == content_digest(
+        {"b": [2, 3], "a": 1}
+    )
+
+
+def test_distinguishes_payloads():
+    assert content_digest({"a": 1}) != content_digest({"a": 2})
+    assert content_digest([1, 2]) != content_digest([2, 1])
+    assert content_digest("1") != content_digest(1)
+
+
+def test_rejects_unserializable_payloads():
+    with pytest.raises(TypeError):
+        content_digest({"bad": object()})
+
+
+@given(payload=_JSON)
+def test_stable_and_well_formed(payload):
+    digest = content_digest(payload)
+    assert digest == content_digest(payload)
+    assert len(digest) == DIGEST_LENGTH == 16
+    assert set(digest) <= set("0123456789abcdef")
+    # Canonical: any JSON round-trip of the payload digests the same.
+    assert content_digest(json.loads(json.dumps(payload))) == digest

@@ -1,6 +1,6 @@
 """Fault-injection conformance: misbehaving services never corrupt answers.
 
-Uses the :mod:`fault_injection` harness to corrupt service pages on a
+Uses the :mod:`repro.testing.faults` kit to corrupt service pages on a
 seeded, call-order-independent schedule, then runs the same plan down
 three paths — demand-driven lazy streaming, eager streaming, and the
 full-scan ``PARALLEL`` oracle — over the *same* faulted world:
@@ -23,7 +23,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from fault_injection import (
+from repro.testing.faults import (
     FAULT_KINDS,
     FaultSchedule,
     FlakyService,

@@ -28,7 +28,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-import fault_injection as shim
 import repro.testing.faults as faults
 from repro.execution.engine import ExecutionEngine, ExecutionMode
 from repro.execution.lazy import LazyServiceCursor, ListPageSource
@@ -337,13 +336,6 @@ class TestRetryingPageSource:
 
 
 class TestPromotedFaultKit:
-    def test_shim_reexports_the_promoted_module(self):
-        assert shim.FaultSchedule is faults.FaultSchedule
-        assert shim.FlakyService is faults.FlakyService
-        assert shim.InjectedFault is faults.InjectedFault
-        assert shim.FAULT_KINDS is faults.FAULT_KINDS
-        assert shim.wrap_registry_flaky is faults.wrap_registry_flaky
-
     def test_injected_fault_is_transient(self):
         assert issubclass(faults.InjectedFault, TransientServiceError)
 
