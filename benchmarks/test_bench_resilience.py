@@ -22,6 +22,16 @@ threshold, and on a remote-caching service the duplicate wins at the
 fast repeat latency — virtual time-to-k drops while rows and the
 per-service accounting stay bit-identical.
 
+A third sweep is the **adaptive-vs-static** column (PR 10): the same
+pair plan with a clean ``lefts_backup`` sibling registered, under
+(a) mid-run service demotion — ``lefts`` units exhaust their retries
+and static partial results must drop them, while sibling fallback
+serves them from the backup — and (b) sustained latency drift —
+``lefts`` answers 25x slower than profiled, the static run pays the
+mis-costed plan's price to the end, the adaptive run splices onto the
+sibling mid-flight.  Recorded per cell: exact-answer rate and virtual
+time-to-k, static vs adaptive.
+
 Acceptance (asserted on every sampled world):
 
 * whenever the answers differ from the oracle's, the certificate is
@@ -29,7 +39,12 @@ Acceptance (asserted on every sampled world):
   never silent;
 * at fault rate 0 every cell succeeds with zero wasted fetches;
 * per fault rate, aggregate success never decreases with more
-  attempts.
+  attempts;
+* the zero-fault adaptive cell is **bit-identical** to the static one
+  — rows, ranks, and full per-round statistics;
+* adaptive exact-answer rate never falls below static's at any fault
+  rate, and under sustained drift the adaptive virtual time-to-k is
+  strictly smaller.
 """
 
 from __future__ import annotations
@@ -41,8 +56,11 @@ import time
 import pytest
 from _bench_env import QUICK, bench_out_name, bench_scale
 
+from repro.execution.adaptive import AdaptiveExecutor
 from repro.execution.engine import ExecutionEngine, ExecutionMode
+from repro.execution.progressive import ProgressiveExecutor
 from repro.execution.resilience import (
+    DriftPolicy,
     HedgePolicy,
     ResilienceConfig,
     RetryPolicy,
@@ -56,6 +74,7 @@ from repro.services.profile import search_profile
 from repro.services.registry import JoinMethod, ServiceRegistry
 from repro.services.table import TableSearchService
 from repro.testing import FaultSchedule, wrap_registry_flaky
+from repro.testing.faults import FlakyService
 
 pytestmark = pytest.mark.bench
 
@@ -110,6 +129,63 @@ def _sig(rows):
     return [
         (dict(r.bindings), tuple(rank for _, rank in r.ranks)) for r in rows
     ]
+
+
+def _sibling_plan(chunk=CHUNK):
+    """The pair plan plus a clean ``lefts_backup`` equivalent.
+
+    The backup shares lefts' signature domains, profile, data, and
+    scores — the ideal fallback target — so an exact recovery is
+    possible and every divergence is the resilience layer's doing.
+    A smaller *chunk* means more pages for the same plane — the drift
+    scenario uses chunk=1 so plenty of remote traffic remains to be
+    saved after the splice.
+    """
+    registry = ServiceRegistry()
+    for name, var in (("lefts", "L"), ("rights", "R"), ("lefts_backup", "L")):
+        registry.register(
+            TableSearchService(
+                signature(name, ["Q", "K", var], ["ioo"]),
+                search_profile(chunk_size=chunk, response_time=1.0),
+                [("q", index % 3, index) for index in range(SIDE)],
+                score=lambda row: float(-row[2]),
+            )
+        )
+    registry.register_join_method("lefts", "rights", JoinMethod.MERGE_SCAN)
+    key, left_var, right_var = Variable("K"), Variable("L"), Variable("R")
+    query = ConjunctiveQuery(
+        name="adaptivebench",
+        head=(key, left_var, right_var),
+        atoms=(
+            Atom("lefts", (Constant("q"), key, left_var)),
+            Atom("rights", (Constant("q"), key, right_var)),
+        ),
+        predicates=(),
+    )
+    budget = -(-SIDE // chunk)
+    plan = PlanBuilder(query, registry).build(
+        (
+            registry.signature("lefts").pattern("ioo"),
+            registry.signature("rights").pattern("ioo"),
+        ),
+        Poset(n=2),
+        fetches={0: budget, 1: budget},
+    )
+    return registry, tuple(query.head), plan
+
+
+def _time_to_k(executor):
+    """Cumulative virtual elapsed over every round, aborted ones too."""
+    return sum(r.elapsed for r in executor.rounds)
+
+
+def _service_fetches(executor, name):
+    """Total remote fetches to *name* across every round."""
+    return sum(
+        r.stats.service(name).fetches
+        for r in executor.rounds
+        if r.stats is not None
+    )
 
 
 class TestResilienceTrajectory:
@@ -218,6 +294,146 @@ class TestResilienceTrajectory:
                 }
             hedging[f"delay_rate={delay_rate}"] = cell
 
+        # -- adaptive vs static -----------------------------------------
+        # min_fetches=2: the lazy streamed top-k satisfies this plane
+        # from very few pages, and a x25 drift is unambiguous after
+        # two observations.
+        drift_policy = DriftPolicy(latency_factor=3.0, min_fetches=2)
+        static_config = ResilienceConfig(
+            retry=RetryPolicy(attempts=2), partial_results=True
+        )
+        adaptive_config = ResilienceConfig(
+            retry=RetryPolicy(attempts=2),
+            partial_results=True,
+            sibling_fallback=True,
+        )
+
+        def _executor(registry, head, plan, adaptive):
+            common = dict(
+                registry=registry, plan=plan, head=head,
+                mode=ExecutionMode.STREAMED,
+            )
+            if adaptive:
+                return AdaptiveExecutor(
+                    resilience=adaptive_config, drift=drift_policy, **common
+                )
+            return ProgressiveExecutor(resilience=static_config, **common)
+
+        sib_registry, sib_head, sib_plan = _sibling_plan()
+        sib_oracle = ProgressiveExecutor(
+            registry=sib_registry, plan=sib_plan, head=sib_head,
+            mode=ExecutionMode.STREAMED,
+        )
+        sib_oracle_sig = _sig(sib_oracle.run(K).rows)
+
+        # Zero-drift contract: with adaptivity armed but nothing
+        # drifting, the adaptive run is bit-identical to the static one
+        # in rows, ranks, AND full per-round accounting.
+        zero_runs = []
+        for adaptive in (False, True):
+            registry, head, plan = _sibling_plan()
+            executor = _executor(registry, head, plan, adaptive)
+            result = executor.run(K)
+            zero_runs.append((executor, result))
+        static_zero, adaptive_zero = zero_runs
+        assert _sig(adaptive_zero[1].rows) == _sig(static_zero[1].rows)
+        assert adaptive_zero[0].replans == 0
+        assert len(adaptive_zero[0].rounds) == len(static_zero[0].rounds)
+        for ours, theirs in zip(adaptive_zero[0].rounds,
+                                static_zero[0].rounds):
+            assert ours.fetches == theirs.fetches
+            assert ours.new_calls == theirs.new_calls
+            assert ours.stats == theirs.stats
+
+        demotion_grid: dict[str, dict] = {}
+        for rate in FAULT_RATES:
+            cells: dict[str, dict] = {}
+            exact_by_column: dict[str, float] = {}
+            for column in ("static", "adaptive"):
+                adaptive = column == "adaptive"
+                exact = 0
+                answers, t2k, dropped, substituted, replans = (
+                    [], [], [], [], []
+                )
+                for seed in range(SEEDS):
+                    registry, head, plan = _sibling_plan()
+                    if rate:
+                        # Only lefts is sick; the backup (and rights)
+                        # stay healthy — the demotion-recovery regime.
+                        registry._services["lefts"] = FlakyService(
+                            registry._services["lefts"],
+                            FaultSchedule(seed=seed, fail_rate=rate),
+                            attempt_aware=True,
+                        )
+                    executor = _executor(registry, head, plan, adaptive)
+                    result = executor.run(K)
+                    certificate = result.certificate
+                    assert certificate is not None
+                    if _sig(result.rows) == sib_oracle_sig:
+                        exact += 1
+                    else:
+                        assert certificate.is_partial, (rate, column, seed)
+                        assert certificate.dropped_services, (
+                            rate, column, seed,
+                        )
+                    answers.append(len(result.rows))
+                    t2k.append(_time_to_k(executor))
+                    dropped.append(len(certificate.dropped))
+                    substituted.append(len(certificate.substituted))
+                    replans.append(getattr(executor, "replans", 0))
+                exact_by_column[column] = exact / SEEDS
+                cells[column] = {
+                    "exact_answer_rate": exact / SEEDS,
+                    "mean_answers": statistics.mean(answers),
+                    "mean_time_to_k_virtual_s": round(
+                        statistics.mean(t2k), 4
+                    ),
+                    "mean_dropped_blocks": statistics.mean(dropped),
+                    "mean_substituted_blocks": statistics.mean(substituted),
+                    "mean_replans": statistics.mean(replans),
+                }
+            # Sibling fallback can only improve exactness: the backup
+            # serves what static partial results would have dropped.
+            assert (
+                exact_by_column["adaptive"] >= exact_by_column["static"]
+            ), (rate, exact_by_column)
+            demotion_grid[f"fail_rate={rate}"] = cells
+
+        drift_cells: dict[str, dict] = {}
+        for column in ("static", "adaptive"):
+            registry, head, plan = _sibling_plan(chunk=1)
+            registry._services["lefts"] = FlakyService(
+                registry._services["lefts"],
+                FaultSchedule(seed=1, delay_rate=1.0),
+            )
+            executor = _executor(registry, head, plan,
+                                 column == "adaptive")
+            result = executor.run(K)
+            # Delay faults never change data: both columns stay exact.
+            assert _sig(result.rows) == sib_oracle_sig, column
+            drift_cells[column] = {
+                "time_to_k_virtual_s": round(_time_to_k(executor), 4),
+                "replans": getattr(executor, "replans", 0),
+                "substituted_blocks": result.stats.substituted_blocks,
+                "lefts_fetches": _service_fetches(executor, "lefts"),
+                "backup_fetches": _service_fetches(
+                    executor, "lefts_backup"
+                ),
+                "rights_fetches": _service_fetches(executor, "rights"),
+            }
+        # The splice pays off: drift is detected, the sibling serves
+        # the rest at healthy latency, and the shared cache keeps the
+        # untouched feed's remote traffic bounded by the static run's.
+        assert drift_cells["adaptive"]["replans"] >= 1
+        assert (
+            drift_cells["adaptive"]["time_to_k_virtual_s"]
+            < drift_cells["static"]["time_to_k_virtual_s"]
+        ), drift_cells
+        assert (
+            drift_cells["adaptive"]["rights_fetches"]
+            <= drift_cells["static"]["rights_fetches"]
+        ), drift_cells
+
         payload = {
             "bench": "resilience",
             "quick": QUICK,
@@ -235,6 +451,19 @@ class TestResilienceTrajectory:
                 f"delay faults multiply latency x25, threshold="
                 f"{HEDGE_THRESHOLD}s",
                 "per_delay_rate": hedging,
+            },
+            "adaptive_vs_static": {
+                "workload": "same pair plan plus a clean lefts_backup "
+                "sibling; static = retries(2) + partial results, "
+                "adaptive = same + sibling fallback + drift splice "
+                "(latency_factor=3, min_fetches=2); STREAMED mode",
+                "zero_drift_bit_identical": True,
+                "demotion_recovery": demotion_grid,
+                "drift_recovery": {
+                    "workload": "lefts delayed x25 on every page "
+                    "(sustained drift, no data change)",
+                    **drift_cells,
+                },
             },
         }
         (out_dir / bench_out_name("BENCH_resilience.json")).write_text(

@@ -121,7 +121,7 @@ def _resilience_config(args):
 
 
 def _make_query_service(args):
-    from repro.serving import PlanCache, QueryService
+    from repro.serving import AdaptivePolicy, PlanCache, QueryService
 
     registry, showcase = _load_domain(args.domain)
     plan_cache = PlanCache(
@@ -135,6 +135,9 @@ def _make_query_service(args):
         plan_cache=plan_cache,
         resilience=_resilience_config(args),
         row_provenance=getattr(args, "provenance", False),
+        adaptive=(
+            AdaptivePolicy() if getattr(args, "adaptive", False) else None
+        ),
     )
     return service, showcase
 
@@ -204,6 +207,14 @@ def _add_resilience_flags(parser) -> None:
         help="attach per-row provenance to every answer: the "
         "(service, input, page, epoch) of each page pull that "
         "contributed to the row (answers themselves are unchanged)",
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="mid-flight adaptive serving: per-service circuit "
+        "breakers feed observed health back into plan costs, "
+        "executions re-plan when a service's latency drifts from its "
+        "profile, and exhausted units fall back to registered sibling "
+        "services (every substitution recorded on the certificate)",
     )
 
 

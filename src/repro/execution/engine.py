@@ -67,7 +67,9 @@ from repro.execution.lazy import (
     NullPageSource,
 )
 from repro.execution.resilience import (
+    DriftMonitor,
     PartialResultCertificate,
+    PlanDrift,
     ResilienceConfig,
     UnresponsiveService,
     build_certificate,
@@ -193,6 +195,7 @@ class ExecutionEngine:
         slot_rows: bool = True,
         resilience: ResilienceConfig | None = None,
         row_provenance: bool = False,
+        drift_monitor: DriftMonitor | None = None,
     ) -> None:
         self._registry = registry
         self._cache_setting = cache_setting
@@ -207,6 +210,28 @@ class ExecutionEngine:
         #: persistent across this engine's executions (progressive
         #: rounds must not re-await a block already proven dead).
         self._demoted: dict[tuple[str, tuple], UnresponsiveService] = {}
+        #: Sibling-fallback routing state (all empty — and all fast
+        #: paths untouched — until a unit actually fails over or a
+        #: caller pre-routes a whole service):
+        #: per-unit reroutes (original unit -> serving service name),
+        self._substituted: dict[tuple[str, tuple], str] = {}
+        #: whole-service reroutes (circuit breaker opened the service),
+        self._service_substitutions: dict[str, str] = {}
+        #: siblings already tried per unit (so a failing sibling
+        #: advances to the next candidate instead of ping-ponging),
+        self._unit_attempts: dict[tuple[str, tuple], set[str]] = {}
+        #: reverse map (serving service, input key) -> original unit,
+        #: so a sibling's own failure resolves to the unit it serves,
+        self._origin: dict[tuple[str, tuple], tuple[str, tuple]] = {}
+        #: and reroutes that actually served pages, for the
+        #: certificate's ``substituted`` section.
+        self._substitution_used: dict[tuple[str, tuple], str] = {}
+        #: Observes remote fetch latency against each plan node's
+        #: costed profile and raises
+        #: :class:`~repro.execution.resilience.PlanDrift` on
+        #: divergence; None (the default) never observes anything —
+        #: the zero-drift bit-identity is structural, not thresholded.
+        self._drift_monitor = drift_monitor
         #: Under STREAMED with a k budget, fetch the final join's
         #: service inputs (single- and multi-feed) on demand; False
         #: restores PR 2's eager materialization (same results, more
@@ -277,68 +302,79 @@ class ExecutionEngine:
             else frozenset()
         )
         # Partial-results restart loop: a walk aborted by an exhausted
-        # retry budget demotes the failing unit and re-runs with the
-        # unit masked (the shared logical cache makes restarts cheap —
-        # every already-fetched page is answered locally).  The stats
-        # object survives restarts, so aborted work stays counted.
-        # Each restart demotes one *new* unit and the plan has finitely
-        # many, so the loop terminates.
-        while True:
-            rng = random.Random(self._shuffle_seed)
-            stream: JoinStream | None = None
-            lazy_cursors: dict[str, LazyServiceCursor | MultiFeedCursor] = {}
-            outputs: dict[str, list[Row]] = {}
-            busy: dict[str, float] = {}
-            try:
-                for node in plan.topological_order():
-                    if isinstance(node, InputNode):
-                        outputs[node.node_id] = [Row(bindings={})]
-                        busy[node.node_id] = 0.0
-                    elif isinstance(node, ServiceNode):
-                        if node.node_id in lazy_candidates:
-                            cursor = self._open_lazy_cursor(
-                                plan, node, outputs, cache, stats
-                            )
-                            lazy_cursors[node.node_id] = cursor
-                            # The cursor's row list is live: it grows
-                            # as the streamed walk demands pages, so
-                            # the node-size snapshot below sees exactly
-                            # what was fetched.
-                            outputs[node.node_id] = cursor.rows
+        # retry budget reroutes the failing unit onto an equivalent
+        # sibling service (when sibling fallback is on and one exists)
+        # or demotes it, then re-runs with the unit rerouted/masked
+        # (the shared logical cache makes restarts cheap — every
+        # already-fetched page is answered locally).  The stats object
+        # survives restarts, so aborted work stays counted.  Each
+        # restart either demotes one *new* unit or advances one unit
+        # to a sibling it never tried; both are finite per plan, so
+        # the loop terminates.  A PlanDrift raised by the drift
+        # monitor is *not* absorbed here: it aborts the execution for
+        # the adaptive layer to re-plan, carrying the partial stats.
+        try:
+            while True:
+                rng = random.Random(self._shuffle_seed)
+                stream: JoinStream | None = None
+                lazy_cursors: dict[str, LazyServiceCursor | MultiFeedCursor] = {}
+                outputs: dict[str, list[Row]] = {}
+                busy: dict[str, float] = {}
+                try:
+                    for node in plan.topological_order():
+                        if isinstance(node, InputNode):
+                            outputs[node.node_id] = [Row(bindings={})]
+                            busy[node.node_id] = 0.0
+                        elif isinstance(node, ServiceNode):
+                            if node.node_id in lazy_candidates:
+                                cursor = self._open_lazy_cursor(
+                                    plan, node, outputs, cache, stats
+                                )
+                                lazy_cursors[node.node_id] = cursor
+                                # The cursor's row list is live: it grows
+                                # as the streamed walk demands pages, so
+                                # the node-size snapshot below sees exactly
+                                # what was fetched.
+                                outputs[node.node_id] = cursor.rows
+                                busy[node.node_id] = 0.0
+                            else:
+                                rows, node_busy = self._run_service_node(
+                                    plan, node, outputs, cache, stats, rng
+                                )
+                                outputs[node.node_id] = rows
+                                busy[node.node_id] = node_busy
+                        elif isinstance(node, JoinNode):
+                            if node is streaming_join:
+                                stream = self._open_join_stream(
+                                    plan, node, outputs, lazy_cursors
+                                )
+                                rows = stream.top(k)
+                            else:
+                                rows = self._run_join_node(plan, node, outputs)
+                            outputs[node.node_id] = rows
+                            busy[node.node_id] = node.response_time
+                        elif isinstance(node, OutputNode):
+                            rows = self._run_output_node(plan, node, outputs)
+                            outputs[node.node_id] = rows
                             busy[node.node_id] = 0.0
                         else:
-                            rows, node_busy = self._run_service_node(
-                                plan, node, outputs, cache, stats, rng
+                            raise ExecutionError(
+                                f"unknown node type {type(node).__name__}"
                             )
-                            outputs[node.node_id] = rows
-                            busy[node.node_id] = node_busy
-                    elif isinstance(node, JoinNode):
-                        if node is streaming_join:
-                            stream = self._open_join_stream(
-                                plan, node, outputs, lazy_cursors
-                            )
-                            rows = stream.top(k)
-                        else:
-                            rows = self._run_join_node(plan, node, outputs)
-                        outputs[node.node_id] = rows
-                        busy[node.node_id] = node.response_time
-                    elif isinstance(node, OutputNode):
-                        rows = self._run_output_node(plan, node, outputs)
-                        outputs[node.node_id] = rows
-                        busy[node.node_id] = 0.0
-                    else:
+                except UnresponsiveService as failure:
+                    unit = self._origin.get(failure.unit, failure.unit)
+                    if unit in self._demoted:  # pragma: no cover
                         raise ExecutionError(
-                            f"unknown node type {type(node).__name__}"
-                        )
-            except UnresponsiveService as failure:
-                if failure.unit in self._demoted:  # pragma: no cover
-                    raise ExecutionError(
-                        f"demoted unit {failure.unit!r} failed again — "
-                        f"masking is broken"
-                    ) from failure
-                self.demote(failure)
-                continue
-            break
+                            f"demoted unit {unit!r} failed again — "
+                            f"masking is broken"
+                        ) from failure
+                    self.handle_unresponsive(failure)
+                    continue
+                break
+        except PlanDrift as drift:
+            if drift.stats is None:
+                drift.stats = stats
+            raise
 
         for node_id, cursor in lazy_cursors.items():
             busy[node_id] = self._node_busy(cursor.latencies)
@@ -363,6 +399,7 @@ class ExecutionEngine:
         certificate = self.certificate_for(plan, final_rows)
         if certificate is not None:
             stats.demoted_blocks = len(certificate.dropped)
+            stats.substituted_blocks = len(certificate.substituted)
         table = ResultTable(head=tuple(head), rows=final_rows, complete=complete)
         return ExecutionResult(
             table=table,
@@ -408,15 +445,121 @@ class ExecutionEngine:
         """The partial-result certificate; None unless partial mode."""
         if self._resilience is None or not self._resilience.partial_results:
             return None
-        return build_certificate(plan, rows, self._demoted)
+        return build_certificate(plan, rows, self._demoted, self._substitution_used)
 
     def _masked(self, service: str, input_key: tuple) -> bool:
         """Whether one ``(service, input setting)`` unit is demoted."""
         return bool(self._demoted) and (service, input_key) in self._demoted
 
+    def _routing_active(self) -> bool:
+        """Whether any unit- or service-level reroute is registered.
+
+        The zero-drift fast-path guard: with no substitutions the
+        per-row hot loops never consult the routing tables, so a run
+        without adaptivity stays bit-identical to the static engine.
+        """
+        return bool(self._substituted) or bool(self._service_substitutions)
+
+    def _route_unit(self, service: str, input_key: tuple) -> str:
+        """The service that actually serves one unit, recording the use.
+
+        Demoted units are never rerouted — the masked check must see
+        the original identity (and ``_open_lazy_cursor`` constructs
+        its page source *before* checking the mask, so routing a
+        demoted unit would resurrect it).  Unit-level reroutes (from
+        sibling fallback) win over service-level ones (from a breaker
+        pre-substitution).  Every active reroute is recorded in
+        ``_origin`` (so a sibling's failure resolves back to the unit
+        it stood in for) and ``_substitution_used`` (so the
+        certificate names the replacement).
+        """
+        unit = (service, input_key)
+        if unit in self._demoted:
+            return service
+        actual = self._substituted.get(unit)
+        if actual is None:
+            actual = self._service_substitutions.get(service, service)
+        if actual != service:
+            self._origin.setdefault((actual, input_key), unit)
+            self._substitution_used[unit] = actual
+        return actual
+
+    def handle_unresponsive(self, failure: UnresponsiveService) -> None:
+        """Reroute the failed unit onto a sibling, or demote it.
+
+        The restart loop's (and the executors') failure sink.  The
+        failure may name a *sibling* that was already standing in for
+        an original unit — ``_origin`` resolves it back, so exhaustion
+        walks the sibling chain of one logical unit instead of
+        spawning chains per replacement.  Stale failures (collected by
+        a parallel executor after the unit already moved on or was
+        demoted) are dropped: the current server has never exhausted
+        its budget.
+        """
+        unit = self._origin.get(failure.unit, failure.unit)
+        if unit in self._demoted:
+            return
+        current = self._substituted.get(unit)
+        if current is None:
+            current = self._service_substitutions.get(unit[0], unit[0])
+        if failure.service != current:
+            return
+        if self._resilience is not None and self._resilience.sibling_fallback:
+            sibling = self._next_sibling(unit, failure.service)
+            if sibling is not None:
+                self._substituted[unit] = sibling
+                return
+        # Sibling chain exhausted (or fallback off): demote the
+        # *original* unit — and forget its substitution record, or the
+        # certificate would report the unit both substituted and
+        # dropped.
+        self._substituted.pop(unit, None)
+        self._substitution_used.pop(unit, None)
+        if unit != failure.unit:
+            failure = UnresponsiveService(
+                unit[0], unit[1], failure.page, failure.attempts, failure.cause
+            )
+        self.demote(failure)
+
+    def _next_sibling(self, unit: tuple[str, tuple], failed: str) -> str | None:
+        """The first registered sibling this unit has not tried yet."""
+        tried = self._unit_attempts.setdefault(unit, {unit[0]})
+        tried.add(failed)
+        pattern_code = unit[1][0]
+        for sibling in self._registry.siblings(unit[0], (pattern_code,)):
+            if sibling not in tried:
+                tried.add(sibling)
+                return sibling
+        return None
+
+    def substitute_service(self, service: str, replacement: str) -> None:
+        """Reroute every unit of *service* onto *replacement*.
+
+        The circuit breaker's lever: a service whose breaker is open
+        is served by a healthy sibling from the first fetch, without
+        waiting for each unit to exhaust a retry budget first.
+        Unit-level reroutes installed later still take precedence.
+        """
+        self._service_substitutions[service] = replacement
+
+    def adopt_adaptive_state(self, other: "ExecutionEngine") -> None:
+        """Carry another engine's demotions and reroutes into this one.
+
+        The adaptive executor builds a fresh engine per re-plan; the
+        new engine must keep masking what the old one demoted and keep
+        serving rerouted units from their replacements, or a re-plan
+        would silently resurrect known-bad units.
+        """
+        self._demoted.update(other._demoted)
+        self._substituted.update(other._substituted)
+        self._service_substitutions.update(other._service_substitutions)
+        self._unit_attempts.update(other._unit_attempts)
+        self._origin.update(other._origin)
+        self._substitution_used.update(other._substitution_used)
+
     def _invoke_service(
         self, service, node: ServiceNode, inputs, input_key: tuple,
-        page: int, stats: ExecutionStats,
+        page: int, stats: ExecutionStats, service_name: str | None = None,
     ):
         """One raw remote invocation, through the resilience layer.
 
@@ -424,12 +567,15 @@ class ExecutionEngine:
         source: cache lookup/store and fetch accounting stay with the
         caller, so retried and hedged duplicates can never double-store
         a page or double-count a call — only the winning response is
-        ever seen by the cache layer.
+        ever seen by the cache layer.  ``service_name`` overrides the
+        node's name when the unit is rerouted onto a sibling, so
+        budgets and failures attach to the service actually invoked.
         """
+        name = node.service_name if service_name is None else service_name
         if self._resilience is None:
             return service.invoke(node.pattern, inputs, page=page)
         return resilient_fetch(
-            self._resilience, node.service_name, input_key, page,
+            self._resilience, name, input_key, page,
             lambda: service.invoke(node.pattern, inputs, page=page),
             stats,
         )
@@ -456,6 +602,12 @@ class ExecutionEngine:
             rng.shuffle(feed)
         service = self._registry.service(node.service_name)
         service_stats = stats.service(node.service_name)
+        # Adaptivity hooks, hoisted so the zero-drift run pays one
+        # truthiness check per node, not per row: with no reroutes
+        # ``routing`` is False and every row uses the hoisted service
+        # objects above, bit-identically to the static engine.
+        routing = self._routing_active()
+        monitor = self._drift_monitor
         # Per-node layout, hoisted out of the per-tuple loop: the input
         # positions (with constants resolved) and the output terms are
         # the same for every row, and building the cache key from the
@@ -506,31 +658,50 @@ class ExecutionEngine:
                 # A demoted unit contributes nothing: no rows, no
                 # calls, no hits (the certificate records the drop).
                 continue
+            if routing:
+                serving_name = self._route_unit(node.service_name, input_key)
+                if serving_name != node.service_name:
+                    row_service = self._registry.service(serving_name)
+                    row_stats = stats.service(serving_name)
+                else:
+                    row_service, row_stats = service, service_stats
+            else:
+                serving_name = node.service_name
+                row_service, row_stats = service, service_stats
             pages: list = []
             issued_remote = False
             for page in range(node.fetches):
-                cached = cache.lookup(node.service_name, input_key, page)
+                cached = cache.lookup(serving_name, input_key, page)
                 if cached is not None:
                     result = cached
                 else:
                     result = self._invoke_service(
-                        service, node, inputs, input_key, page, stats
+                        row_service, node, inputs, input_key, page, stats,
+                        service_name=serving_name,
                     )
-                    cache.store(node.service_name, input_key, page, result)
-                    service_stats.record_fetch(
+                    cache.store(serving_name, input_key, page, result)
+                    row_stats.record_fetch(
                         result.latency, result.from_remote_cache,
                         len(result.tuples),
                     )
                     latencies.append(result.latency)
                     issued_remote = True
+                    # Drift is judged against the node's costed profile,
+                    # so only fetches served by the profiled service
+                    # feed the monitor — sibling traffic is not the
+                    # original's drift.
+                    if monitor is not None and serving_name == node.service_name:
+                        monitor.observe(
+                            node.service_name, node.profile, result.latency
+                        )
                 stats.tuples_processed += len(result.tuples)
                 pages.append(result)
                 if not result.has_more:
                     break
             if issued_remote:
-                service_stats.calls += 1
+                row_stats.calls += 1
             else:
-                service_stats.cache_hits += 1
+                row_stats.cache_hits += 1
             if slot is not None:
                 bind = slot.bind
                 predicates = slot.predicates
@@ -541,7 +712,7 @@ class ExecutionEngine:
                     ranks = result.ranks or (None,) * len(result.tuples)
                     provenance = (
                         row_provenance
-                        + ((node.service_name, input_key, page_index),)
+                        + ((serving_name, input_key, page_index),)
                         if self._row_provenance
                         else row_provenance
                     )
@@ -578,7 +749,7 @@ class ExecutionEngine:
                         merged = merged.with_rank(node.node_id, rank)
                     if self._row_provenance:
                         merged = merged.with_provenance(
-                            (node.service_name, input_key, page_index)
+                            (serving_name, input_key, page_index)
                         )
                     if all(p.holds(merged.bindings) for p in node.predicates):
                         produced.append(merged)
@@ -962,7 +1133,6 @@ class _LazyServicePageSource:
         stats: ExecutionStats,
     ) -> None:
         assert node.pattern is not None
-        self._service = engine._registry.service(node.service_name)
         self._node = node
         self._feed_row = feed_row
         self._cache = cache
@@ -982,6 +1152,16 @@ class _LazyServicePageSource:
         self._inputs = inputs
         self.input_key = (node.pattern.code, tuple(inputs.items()))
         self._engine = engine
+        # Routed once at construction: a reroute installed mid-stream
+        # takes effect on the next restart, never mid-block (a block's
+        # pages must all come from one server for rank soundness).
+        if engine._routing_active():
+            self._serving_name = engine._route_unit(
+                node.service_name, self.input_key
+            )
+        else:
+            self._serving_name = node.service_name
+        self._service = engine._registry.service(self._serving_name)
         self.budget = node.fetches
         self._rank_floor = 0
         self._epoch_pages = 0
@@ -998,7 +1178,7 @@ class _LazyServicePageSource:
 
     def fetch(self, page: int) -> FetchedPage:
         node = self._node
-        name = node.service_name
+        name = self._serving_name
         service_stats = self._stats.service(name)
         cached = self._cache.lookup(name, self.input_key, page)
         latency: float | None = None
@@ -1008,13 +1188,18 @@ class _LazyServicePageSource:
             assert node.pattern is not None
             result = self._engine._invoke_service(
                 self._service, node, self._inputs, self.input_key, page,
-                self._stats,
+                self._stats, service_name=name,
             )
             self._cache.store(name, self.input_key, page, result)
             service_stats.record_fetch(
                 result.latency, result.from_remote_cache, len(result.tuples)
             )
             latency = result.latency
+            monitor = self._engine._drift_monitor
+            # Same rule as the eager seam: only profiled-service
+            # fetches feed the drift monitor.
+            if monitor is not None and name == node.service_name:
+                monitor.observe(node.service_name, node.profile, result.latency)
         if cached is None:
             if not self._epoch_remote:
                 service_stats.calls += 1
@@ -1040,7 +1225,7 @@ class _LazyServicePageSource:
                 merged = merged.with_rank(node.node_id, rank)
             if self._engine._row_provenance:
                 merged = merged.with_provenance(
-                    (node.service_name, self.input_key, page)
+                    (self._serving_name, self.input_key, page)
                 )
             if all(p.holds(merged.bindings) for p in node.predicates):
                 rows.append(merged)

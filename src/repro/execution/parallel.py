@@ -247,7 +247,10 @@ class ParallelExecutor:
             if not failures:
                 break
             for failure in failures:
-                self._engine.demote(failure)
+                # Reroute-or-demote; stale failures (the unit already
+                # moved to a sibling on an earlier iteration of this
+                # drain) are dropped inside the handler.
+                self._engine.handle_unresponsive(failure)
         stats.elapsed = self._engine._elapsed(plan, busy)
         stats.wall_time = time.perf_counter() - started
         produced = outputs[plan.output_node.node_id]
@@ -255,6 +258,7 @@ class ParallelExecutor:
         certificate = self._engine.certificate_for(plan, final_rows)
         if certificate is not None:
             stats.demoted_blocks = len(certificate.dropped)
+            stats.substituted_blocks = len(certificate.substituted)
         table = ResultTable(head=tuple(head), rows=final_rows, complete=True)
         return ExecutionResult(
             table=table,
@@ -333,7 +337,10 @@ class ParallelExecutor:
                 plan, node, {feed_id: [row]}, cache, local,
                 random.Random(0),  # unused: PARALLEL mode never shuffles
             )
-        remote_calls = local.service(node.service_name).calls
+        # The task touches exactly one logical unit, so the total is
+        # that unit's calls no matter which service (the node's own or
+        # a rerouted sibling) ended up serving it.
+        remote_calls = local.total_calls
         return produced, row_busy, remote_calls, local
 
     def _collect_service_node(

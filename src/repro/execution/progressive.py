@@ -37,7 +37,12 @@ from dataclasses import dataclass, field
 
 from repro.execution.cache import CacheSetting, LogicalCache, make_cache
 from repro.execution.engine import ExecutionEngine, ExecutionMode, ExecutionResult
-from repro.execution.resilience import ResilienceConfig, UnresponsiveService
+from repro.execution.resilience import (
+    DriftMonitor,
+    PlanDrift,
+    ResilienceConfig,
+    UnresponsiveService,
+)
 from repro.execution.results import ResultTable
 from repro.execution.stats import ExecutionStats
 from repro.model.terms import Variable
@@ -119,6 +124,10 @@ class ProgressiveExecutor:
     #: rides inside :class:`~repro.execution.results.Row`, so resumed
     #: stream rounds carry it automatically.
     row_provenance: bool = False
+    #: Observes remote fetch latencies against the plan's costed
+    #: profiles and raises :class:`PlanDrift` on divergence — installed
+    #: by the adaptive layer, None (structurally inert) otherwise.
+    drift_monitor: DriftMonitor | None = None
     rounds: list[ProgressiveRound] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -129,6 +138,7 @@ class ProgressiveExecutor:
             lazy_streaming=self.lazy_streaming,
             resilience=self.resilience,
             row_provenance=self.row_provenance,
+            drift_monitor=self.drift_monitor,
         )
         # One shared cache across all rounds: continuations are free
         # where they overlap with what was already fetched.
@@ -138,6 +148,11 @@ class ProgressiveExecutor:
             else make_cache(self.cache_setting)
         )
         self._last_result: ExecutionResult | None = None
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The underlying engine (the adaptive layer reroutes on it)."""
+        return self._engine
 
     def fetch_vector(self) -> dict[int, int]:
         """Current fetching factors of the chunked nodes."""
@@ -177,10 +192,14 @@ class ProgressiveExecutor:
         exactly as a cold executor would.
         """
         result = self._resume_stream(k)
-        baseline_processed: int | None = None
         if result is None:
             result = self._execute_round(k)
             baseline_processed = result.stats.tuples_processed
+        else:
+            # A resume-served round must still arm the exhaustion
+            # break, or the first growth round after it always burns
+            # one extra re-execution against exhausted services.
+            baseline_processed = self._resumed_baseline()
         while len(result.rows) < k and self._executed_rounds() < self.max_rounds:
             if not self._grow_fetches():
                 break  # every factor capped by its decay bound
@@ -225,22 +244,37 @@ class ProgressiveExecutor:
         stats = ExecutionStats()
         stream.rebind_stats(stats)
         fetched_before = stream.lazy_tuples_fetched
+        saved_before = stream.lazy_pages_saved
         try:
             rows = stream.top(k)
         except UnresponsiveService as failure:
             # A lazily fetched block died mid-resume (partial mode).
             # The suspended stream cannot retract what it already
-            # placed, so demote the unit on the engine's persistent
-            # mask, drop the poisoned stream, and let ``run`` fall
-            # back to a fresh execution — which masks the block and
-            # re-serves everything else from the shared cache.
-            self._engine.demote(failure)
+            # placed, so reroute-or-demote the unit on the engine's
+            # persistent state, drop the poisoned stream, and let
+            # ``run`` fall back to a fresh execution — which serves the
+            # block from its sibling (or masks it) and re-serves
+            # everything else from the shared cache.
+            self._engine.handle_unresponsive(failure)
             self._last_result = None
             return None
+        except PlanDrift as drift:
+            # Latency drift observed mid-resume: hand the adaptive
+            # layer this round's partial accounting (the aborted work
+            # happened and must stay counted) along with the signal.
+            if drift.stats is None:
+                drift.stats = stats
+            raise
         stats.streamed_cells_visited = stream.cells_visited
         stats.early_exit_cells_skipped = stream.cells_skipped
         stats.lazy_tuples_fetched = stream.lazy_tuples_fetched - fetched_before
-        stats.lazy_calls_saved = stream.lazy_pages_saved
+        # Delta, exactly like the tuples counter above: the stream's
+        # ``lazy_pages_saved`` is cumulative, and earlier rounds already
+        # reported their share — a resumed round only reports the
+        # *change* its own pulls caused (<= 0 when the grown demand
+        # fetched pages an earlier round had counted as saved), so the
+        # per-round values sum to the stream's true current total.
+        stats.lazy_calls_saved = stream.lazy_pages_saved - saved_before
         stats.lazy_blocks = stream.lazy_blocks
         stats.lazy_blocks_untouched = stream.lazy_blocks_untouched
         # Virtual time of the resume: the lazy cursors sit on parallel
@@ -293,6 +327,27 @@ class ProgressiveExecutor:
             )
         )
         return result
+
+    def _resumed_baseline(self) -> int | None:
+        """The exhaustion baseline after a resume-served round.
+
+        A fresh execution's ``tuples_processed`` covers every page the
+        walk demands, cached or not; the equivalent figure once a
+        stream resume served the round is the *last executed* round's
+        count plus every later resume's incremental pulls (resumed
+        rounds record only the pages they newly demanded, so the sum
+        never double-counts).  None when no round ever executed the
+        plan — then there is nothing to compare a growth round against.
+        """
+        baseline: int | None = None
+        for r in self.rounds:
+            if r.stats is None:
+                continue
+            if not r.resumed:
+                baseline = r.stats.tuples_processed
+            elif baseline is not None:
+                baseline += r.stats.tuples_processed
+        return baseline
 
     def _executed_rounds(self) -> int:
         """Rounds that actually ran the plan (resumed rounds are free)."""

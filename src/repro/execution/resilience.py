@@ -64,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.execution.results import Row
     from repro.execution.stats import ExecutionStats
     from repro.plans.dag import QueryPlan
+    from repro.services.profile import ServiceProfile
 
 #: Exception types the retry layer treats as transient.  Anything else
 #: (schema violations, programming errors) propagates immediately.
@@ -164,14 +165,130 @@ class HedgePolicy:
 class ResilienceConfig:
     """Which resilience layers are active for an engine.
 
-    All three fields default to off; a config with every layer off is
+    All fields default to off; a config with every layer off is
     behaviorally identical to running without one (the bit-identity
     contract the differential suite pins).
+
+    ``sibling_fallback`` (requires ``partial_results``) reroutes a unit
+    whose retries are exhausted onto an equivalent registered service
+    (:meth:`~repro.services.registry.ServiceRegistry.siblings`) before
+    demoting it: the answer keeps the unit's data as served by the
+    sibling, and the certificate's ``substituted`` section names every
+    rerouted unit — honesty is preserved because a substitution is
+    *recorded*, never silent.
     """
 
     retry: RetryPolicy | None = None
     hedge: HedgePolicy | None = None
     partial_results: bool = False
+    sibling_fallback: bool = False
+
+
+# -- drift detection --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftPolicy:
+    """When observed service behavior diverges enough to re-plan.
+
+    A service has *drifted* when the mean observed latency of its
+    remote fetches in one execution exceeds ``latency_factor`` times
+    the ``response_time`` of the profile its plan node was costed
+    with, after at least ``min_fetches`` observations (one slow page
+    is a straggler — hedging's job; a consistently slow service is a
+    mis-costed plan — re-planning's job).  ``max_replans`` bounds how
+    many times one adaptive execution may re-plan before it stops
+    monitoring and finishes with whatever plan it has.
+    ``substitute_siblings`` additionally reroutes the drifted
+    service's units onto an equivalent registered sibling (when one
+    exists) in the spliced plan, so the remaining pages are pulled at
+    the sibling's healthy latency; the substitution is recorded on the
+    partial certificate exactly like a failure-driven fallback.
+    """
+
+    latency_factor: float = 3.0
+    min_fetches: int = 3
+    max_replans: int = 3
+    substitute_siblings: bool = True
+
+
+class PlanDrift(RuntimeError):
+    """A service's observed latency left the profile it was costed at.
+
+    Control-flow exception raised by :class:`DriftMonitor` out of the
+    engine's fetch seams; the :class:`~repro.execution.adaptive.
+    AdaptiveExecutor` catches it, re-optimizes against the observed
+    response times, and splices the replacement plan mid-run.  The
+    seam that raised it attaches the execution's partial
+    :class:`~repro.execution.stats.ExecutionStats` as ``stats`` so the
+    aborted attempt's work stays accounted.
+    """
+
+    def __init__(
+        self, service: str, observed: float, expected: float, fetches: int
+    ) -> None:
+        super().__init__(
+            f"{service} drifted: mean latency {observed:.2f}s over "
+            f"{fetches} fetches vs costed response time {expected:.2f}s"
+        )
+        self.service = service
+        self.observed = observed
+        self.expected = expected
+        self.fetches = fetches
+        self.stats: "ExecutionStats | None" = None
+
+
+class DriftMonitor:
+    """Per-execution observer of remote fetch latency vs. plan cost.
+
+    The engine calls :meth:`observe` after every *remote* page fetch
+    (cache hits tell nothing about the service).  The monitor never
+    touches the execution's statistics, so a run whose observations
+    stay under the threshold is bit-identical to an unmonitored run —
+    the zero-drift half of the adaptive differential contract.
+
+    ``adapted`` names services whose drift was already absorbed by a
+    re-plan (their costed profile *is* the observed one now); they are
+    exempt, or every spliced plan would immediately re-trip on the
+    same slow service.  Substituted units report under the sibling's
+    name with no plan-node profile of their own, so they are never
+    observed either.
+    """
+
+    def __init__(
+        self, policy: DriftPolicy, adapted: frozenset[str] = frozenset()
+    ) -> None:
+        self.policy = policy
+        self.adapted = set(adapted)
+        self._counts: dict[str, int] = {}
+        self._totals: dict[str, float] = {}
+
+    def observe(
+        self, service: str, profile: "ServiceProfile | None", latency: float
+    ) -> None:
+        """Record one remote fetch; raise :class:`PlanDrift` on divergence."""
+        if service in self.adapted or profile is None:
+            return
+        expected = profile.response_time
+        if expected <= 0:
+            return
+        count = self._counts.get(service, 0) + 1
+        total = self._totals.get(service, 0.0) + latency
+        self._counts[service] = count
+        self._totals[service] = total
+        if count < self.policy.min_fetches:
+            return
+        mean = total / count
+        if mean > self.policy.latency_factor * expected:
+            raise PlanDrift(service, mean, expected, count)
+
+    def observed_response_times(self) -> dict[str, float]:
+        """Mean observed latency per service (for re-costing)."""
+        return {
+            name: self._totals[name] / count
+            for name, count in self._counts.items()
+            if count
+        }
 
 
 _HEDGE_POOL: ThreadPoolExecutor | None = None
@@ -308,7 +425,12 @@ class RetryingPageSource:
         return self._source.budget
 
     def swap_stats(self, stats: object) -> None:
+        # Rebind both: the wrapped source's accounting *and* this
+        # wrapper's own retry/wasted-fetch counters must land on the
+        # new epoch's statistics, or a resumed round's retries would be
+        # charged to the round that created the source.
         self._source.swap_stats(stats)
+        self._stats = stats
 
     def fetch(self, page: int):
         retry = self._config.retry
@@ -377,6 +499,38 @@ class DroppedUnit:
 
 
 @dataclass(frozen=True)
+class SubstitutedUnit:
+    """One rerouted block: a unit served by an equivalent sibling.
+
+    The unit's own service was unresponsive (or drifted far from its
+    costed profile), and ``replacement`` — a registered service with
+    the same signature domains and profile kind — answered its input
+    setting instead.  Unlike a :class:`DroppedUnit` the unit's data
+    *is* in the answer, just from the sibling; recording it keeps the
+    certificate honest about which remote actually served each block.
+    """
+
+    service: str
+    input_key: tuple
+    replacement: str
+
+    @property
+    def unit(self) -> tuple[str, tuple]:
+        return (self.service, self.input_key)
+
+    @property
+    def token(self) -> str:
+        return unit_token(self.service, self.input_key)
+
+    def to_dict(self) -> dict:
+        return {
+            "service": self.service,
+            "unit": self.token,
+            "replacement": self.replacement,
+        }
+
+
+@dataclass(frozen=True)
 class PartialResultCertificate:
     """What a partial-results execution dropped, and what remains.
 
@@ -387,13 +541,18 @@ class PartialResultCertificate:
     *other*, responsive blocks — ``answer_units`` (one tuple of unit
     tokens per returned answer, in answer order) shows exactly which
     blocks produced each row, and by construction never intersects
-    ``dropped``.
+    ``dropped``.  ``substituted`` lists every unit rerouted onto an
+    equivalent sibling service (empty unless sibling fallback or
+    adaptive substitution actually fired, so fault-free renderings are
+    unchanged in content); a substituted unit's answers attribute to
+    the *replacement* service's token in ``answer_units``.
     """
 
     dropped: tuple[DroppedUnit, ...]
     responsive_services: tuple[str, ...]
     dropped_services: tuple[str, ...]
     answer_units: tuple[tuple[str, ...], ...]
+    substituted: tuple[SubstitutedUnit, ...] = ()
 
     @property
     def is_partial(self) -> bool:
@@ -407,17 +566,23 @@ class PartialResultCertificate:
             "responsive_services": list(self.responsive_services),
             "dropped_services": list(self.dropped_services),
             "answer_units": [list(units) for units in self.answer_units],
+            "substituted": [unit.to_dict() for unit in self.substituted],
         }
 
 
-def _answer_units(plan: "QueryPlan", row: "Row") -> tuple[str, ...]:
+def _answer_units(
+    plan: "QueryPlan",
+    row: "Row",
+    substituted: Mapping[tuple[str, tuple], str] = {},
+) -> tuple[str, ...]:
     """The unit tokens of the blocks that produced one answer row.
 
     Every answer satisfies every service atom of the plan, and the
     input setting of each service node *for this answer* is recoverable
     from the answer's own bindings (constants resolve directly, bound
     variables from the row) — so attribution needs no execution-time
-    bookkeeping at all.
+    bookkeeping at all.  A unit rerouted onto a sibling attributes to
+    the *replacement* service's token: the answer really came from it.
     """
     tokens = []
     for node in plan.service_nodes:
@@ -429,9 +594,11 @@ def _answer_units(plan: "QueryPlan", row: "Row") -> tuple[str, ...]:
             if value is None:
                 value = row.bindings.get(term)
             items.append((position, value))
-        tokens.append(
-            unit_token(node.service_name, (node.pattern.code, tuple(items)))
-        )
+        input_key = (node.pattern.code, tuple(items))
+        serving = node.service_name
+        if substituted:
+            serving = substituted.get((serving, input_key), serving)
+        tokens.append(unit_token(serving, input_key))
     return tuple(sorted(tokens))
 
 
@@ -439,6 +606,7 @@ def build_certificate(
     plan: "QueryPlan",
     rows: "list[Row]",
     demoted: Mapping[tuple[str, tuple], UnresponsiveService],
+    substituted: Mapping[tuple[str, tuple], str] = {},
 ) -> PartialResultCertificate:
     """The partial-result certificate for one finished execution."""
     plan_services = sorted(
@@ -461,9 +629,21 @@ def build_certificate(
     responsive = tuple(
         name for name in plan_services if name not in dropped_services
     )
+    substitutions = tuple(
+        SubstitutedUnit(
+            service=service, input_key=input_key, replacement=replacement
+        )
+        for (service, input_key), replacement in sorted(
+            substituted.items(), key=lambda item: repr(item[0])
+        )
+        if service in plan_services
+    )
     return PartialResultCertificate(
         dropped=dropped,
         responsive_services=responsive,
         dropped_services=tuple(dropped_services),
-        answer_units=tuple(_answer_units(plan, row) for row in rows),
+        answer_units=tuple(
+            _answer_units(plan, row, substituted) for row in rows
+        ),
+        substituted=substitutions,
     )

@@ -67,10 +67,11 @@ class ExecutionStats:
     and budgeted page fetches those cursors never issued (the remote
     work early exit saved — an upper bound when a service would have
     run dry mid-budget, exact otherwise).  Both stay 0 when no input
-    was fetched lazily.  ``lazy_calls_saved`` is a snapshot taken when
-    the round's statistics are finalized: a later stream resume can
-    pull some of those pages after all, and then reports the shrunken
-    remainder on *its own* round's statistics.
+    was fetched lazily.  On a resumed progressive round both counters
+    are *deltas* against the suspended stream's cumulative totals — a
+    resume that pulls pages an earlier round counted as saved reports
+    a negative ``lazy_calls_saved`` — so summing either counter over a
+    session's rounds always yields the stream's true current total.
 
     ``lazy_blocks`` / ``lazy_blocks_untouched`` are the per-block view
     of the same saving: a lazy cursor owns one budgeted block per feed
@@ -120,6 +121,9 @@ class ExecutionStats:
     hedged_wins: int = 0
     wasted_fetches: int = 0
     demoted_blocks: int = 0
+    #: Units a partial-results run rerouted onto a sibling service
+    #: instead of dropping (``len(certificate.substituted)``).
+    substituted_blocks: int = 0
 
     def service(self, name: str) -> ServiceCallStats:
         """The (auto-created) counters for service *name*."""
@@ -187,9 +191,10 @@ class ExecutionStats:
                 f" hedged_wins={self.hedged_wins}"
                 f" wasted_fetches={self.wasted_fetches}"
             )
-        if self.demoted_blocks:
+        if self.demoted_blocks or self.substituted_blocks:
             lines.append(
                 f"  partial: demoted_blocks={self.demoted_blocks}"
+                f" substituted_blocks={self.substituted_blocks}"
             )
         for name in sorted(self.per_service):
             stats = self.per_service[name]

@@ -9,9 +9,9 @@ selectivities for join predicates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Iterator
+from typing import Iterable, Iterator, Mapping
 
 from repro.digest import content_digest
 from repro.model.schema import Schema, SchemaError, ServiceSignature
@@ -145,6 +145,43 @@ class ServiceRegistry:
         for service in self:
             service.reset()
 
+    def siblings(
+        self, name: str, pattern_codes: Iterable[str] | None = None
+    ) -> tuple[str, ...]:
+        """Registered services equivalent to *name*, for fallback.
+
+        A sibling serves the same relation shape: identical signature
+        domains (same attributes in the same order) and the same
+        profile kind (exact vs. search — mixing the two would change
+        ranking semantics).  When ``pattern_codes`` is given, every
+        listed access pattern must be feasible on the sibling too, so
+        a rerouted unit can be invoked with the unit's own inputs
+        unchanged.  Candidates come back in registration order (the
+        deterministic preference order) and never include *name*
+        itself.  Whether a sibling's *content* matches is the
+        operator's contract — the certificate records every
+        substitution precisely so that contract is auditable.
+        """
+        base = self.signature(name)
+        base_kind = self.profile(name).kind
+        codes = tuple(pattern_codes) if pattern_codes is not None else ()
+        candidates = []
+        for other in self.names:
+            if other == name:
+                continue
+            sig = self.signature(other)
+            if tuple(sig.domains) != tuple(base.domains):
+                continue
+            if self.profile(other).kind is not base_kind:
+                continue
+            try:
+                for code in codes:
+                    sig.pattern(code)
+            except SchemaError:
+                continue
+            candidates.append(other)
+        return tuple(candidates)
+
     def content_epoch(self) -> str:
         """Stable content hash of everything the optimizer reads.
 
@@ -208,3 +245,75 @@ class ServiceRegistry:
         if max_fetches is not None and max_fetches <= 2:
             return True
         return profile.is_exact and profile.is_selective
+
+
+class AdjustedRegistry:
+    """A registry view with observed response-time overrides.
+
+    The adaptivity layer's bridge from *observed* service health back
+    into *plan costs*: :meth:`profile` returns the base registry's
+    profile with ``response_time`` raised to the observed value (never
+    lowered — a service answering faster than profiled needs no
+    re-plan), so an :class:`~repro.optimizer.optimizer.Optimizer` or
+    :class:`~repro.plans.builder.PlanBuilder` run against the view
+    costs plans at what the service is *actually* doing.
+
+    :meth:`content_epoch` folds the overrides into the base epoch, so
+    every plan-cache key resolved under an adjusted view is distinct
+    from (and never poisons) the unadjusted epoch's entries, and the
+    moment the adjustments change — a breaker opens, closes, or
+    re-observes — stale adjusted plans strand automatically, exactly
+    like any other profile drift.  With no overrides the view is
+    transparent: base profiles, base epoch, bit-identical costing.
+
+    Everything else (service objects, signatures, join methods, ...)
+    delegates to the base registry via ``__getattr__``; executions
+    against the view invoke the *real* services.
+    """
+
+    def __init__(
+        self, base: ServiceRegistry, response_times: Mapping[str, float]
+    ) -> None:
+        self._base = base
+        self._response_times = {
+            name: rt for name, rt in response_times.items() if rt > 0
+        }
+
+    @property
+    def adjustments(self) -> dict[str, float]:
+        """The active response-time overrides (a copy)."""
+        return dict(self._response_times)
+
+    def profile(
+        self, name: str, pattern_code: str | None = None
+    ) -> ServiceProfile:
+        profile = self._base.profile(name, pattern_code)
+        observed = self._response_times.get(name)
+        if observed is None or observed <= profile.response_time:
+            return profile
+        return replace(profile, response_time=observed)
+
+    def content_epoch(self) -> str:
+        base_epoch = self._base.content_epoch()
+        if not self._response_times:
+            return base_epoch
+        return content_digest(
+            {
+                "base": base_epoch,
+                "adjusted_response_times": sorted(
+                    self._response_times.items()
+                ),
+            }
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._base
+
+    def __iter__(self) -> Iterator[Service]:
+        return iter(self._base)
+
+    def __len__(self) -> int:
+        return len(self._base)
+
+    def __getattr__(self, attribute: str):
+        return getattr(self._base, attribute)

@@ -9,6 +9,12 @@ sessions that resume suspended streams instead of re-executing.  See
 invalidation rule, and the session lifecycle.
 """
 
+from repro.serving.breaker import (
+    AdaptivePolicy,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+)
 from repro.serving.fingerprint import (
     canonical_query,
     optimizer_config_token,
@@ -26,7 +32,11 @@ from repro.serving.sessions import (
 )
 
 __all__ = [
+    "AdaptivePolicy",
+    "BreakerPolicy",
+    "BreakerState",
     "CachedPlan",
+    "CircuitBreaker",
     "PlanCache",
     "PlanCacheStats",
     "QueryResponse",

@@ -57,6 +57,7 @@ from typing import Sequence
 
 from repro.costs.base import CostMetric
 from repro.costs.time_cost import ExecutionTimeMetric
+from repro.execution.adaptive import AdaptiveExecutor
 from repro.execution.cache import (
     CacheSetting,
     LogicalCache,
@@ -71,7 +72,9 @@ from repro.execution.resilience import ResilienceConfig
 from repro.model.parser import parse_query
 from repro.model.query import ConjunctiveQuery
 from repro.optimizer.optimizer import Optimizer, OptimizerConfig
+from repro.plans.dag import QueryPlan
 from repro.plans.spec import PlanSpec
+from repro.serving.breaker import AdaptivePolicy, BreakerState, CircuitBreaker
 from repro.serving.fingerprint import (
     optimizer_config_token,
     plan_cache_key,
@@ -79,7 +82,7 @@ from repro.serving.fingerprint import (
 )
 from repro.serving.plan_cache import PlanCache
 from repro.serving.sessions import SessionError, SessionManager
-from repro.services.registry import ServiceRegistry
+from repro.services.registry import AdjustedRegistry, ServiceRegistry
 
 
 @dataclass(frozen=True)
@@ -180,6 +183,8 @@ class ServingStats:
     optimizer_runs: int = 0
     optimizer_annotate_calls: int = 0
     prefetches: int = 0
+    #: Mid-run plan splices performed by adaptive executions.
+    replans: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serializable snapshot."""
@@ -189,6 +194,7 @@ class ServingStats:
             "optimizer_runs": self.optimizer_runs,
             "optimizer_annotate_calls": self.optimizer_annotate_calls,
             "prefetches": self.prefetches,
+            "replans": self.replans,
         }
 
 
@@ -238,9 +244,37 @@ class QueryService:
     #: engine threads through :class:`~repro.execution.results.Row`);
     #: disabled responses render byte-identically to before.
     row_provenance: bool = False
+    #: Opt-in mid-flight adaptivity (:mod:`repro.serving.breaker`):
+    #: per-service circuit breakers accumulate observed health across
+    #: requests and feed adjusted response times back into plan costs,
+    #: executions run under an :class:`~repro.execution.adaptive.
+    #: AdaptiveExecutor` that re-plans on latency drift, and open
+    #: breakers reroute onto registered sibling services.  None keeps
+    #: the static serving path, bit-identically.
+    adaptive: AdaptivePolicy | None = None
+    #: The breaker instance (auto-created when ``adaptive`` is set);
+    #: inject one to share breakers across services or to pin a test
+    #: clock.
+    breaker: CircuitBreaker | None = None
     stats: ServingStats = field(default_factory=ServingStats)
 
     def __post_init__(self) -> None:
+        if self.adaptive is not None and self.breaker is None:
+            self.breaker = CircuitBreaker(self.adaptive.breaker)
+        # Adaptive serving needs partial-results accounting (the
+        # certificate is where substitutions are recorded) and, when
+        # requested, sibling fallback on exhausted units.
+        if self.adaptive is None:
+            self._exec_resilience = self.resilience
+        else:
+            base = self.resilience or ResilienceConfig()
+            self._exec_resilience = replace(
+                base,
+                partial_results=True,
+                sibling_fallback=(
+                    base.sibling_fallback or self.adaptive.sibling_fallback
+                ),
+            )
         inner: LogicalCache | None = (
             make_cache(self.cache_setting, capacity=self.service_cache_capacity)
             if self.share_service_cache
@@ -280,26 +314,23 @@ class QueryService:
         with self._stats_lock:
             self.stats.requests += 1
         plan, cost, provenance, fingerprint, epoch, annotate_calls = (
-            self._resolve_plan(query, k)
+            self._resolve_plan(query, k, registry=self._planning_registry())
         )
-        executor = ProgressiveExecutor(
-            registry=self.registry,
-            plan=plan,
-            head=tuple(query.head),
-            mode=self.mode,
-            cache_setting=self.cache_setting,
-            shared_cache=self._service_cache,
-            reset_remote=False,
-            resilience=self.resilience,
-            row_provenance=self.row_provenance,
-        )
+        executor = self._make_executor(query, plan, k)
         result = executor.run(k)
+        self._feed_breaker(executor.rounds, result)
+        replans = getattr(executor, "replans", 0)
+        if replans:
+            with self._stats_lock:
+                self.stats.replans += replans
         session = self.sessions.create(
-            query=query, executor=executor, delivered=len(result.rows)
+            query=query, executor=executor, delivered=len(result.rows),
+            epoch=epoch,
         )
         return self._respond(
             session.session_id, query, result, k, provenance, cost,
             fingerprint, epoch, annotate_calls, executor.rounds,
+            replans=replans,
         )
 
     def ask_for_more(
@@ -326,14 +357,26 @@ class QueryService:
                 self.stats.continuations += 1
             additional = self.k_default if additional is None else additional
             rounds_before = len(executor.rounds)
+            replans_before = getattr(executor, "replans", 0)
             result = executor.more(additional)
+            new_rounds = executor.rounds[rounds_before:]
+            self._feed_breaker(new_rounds, result)
+            replans = getattr(executor, "replans", 0) - replans_before
+            if replans:
+                with self._stats_lock:
+                    self.stats.replans += replans
             session.delivered = len(result.rows)
             query = session.query
+            # The epoch pinned at submit time, NOT the registry's
+            # current one: the continuation still executes the plan it
+            # was created with, so a mid-session registry update must
+            # not relabel its answers as computed under the new epoch.
             return self._respond(
                 session_id, query, result, session.delivered, "session",
                 None, query_fingerprint(query),
-                self.registry.content_epoch(), 0,
-                executor.rounds[rounds_before:],
+                session.epoch, 0,
+                new_rounds,
+                replans=replans,
             )
 
     def prefetch(
@@ -379,7 +422,7 @@ class QueryService:
             self.registry,
             cache_setting=self.cache_setting,
             workers=workers,
-            resilience=self.resilience,
+            resilience=self._exec_resilience,
         )
         result = executor.execute(
             plan,
@@ -428,6 +471,9 @@ class QueryService:
                     evictions=inner.evictions,
                 )
             state["service_cache"] = section
+        if self.breaker is not None:
+            with self._stats_lock:
+                state["breaker"] = self.breaker.snapshot()
         return state
 
     # -- internals -------------------------------------------------------
@@ -441,13 +487,19 @@ class QueryService:
             return lock
 
     def _resolve_plan(
-        self, query: ConjunctiveQuery, k: int
+        self, query: ConjunctiveQuery, k: int, registry=None
     ) -> tuple:
         """Plan *query* through the shared plan cache (optimize on miss).
 
         Returns ``(plan, cost, provenance, fingerprint, epoch,
         annotate_calls)`` — the request-independent half of
         :meth:`submit`, shared with :meth:`prefetch`.
+
+        ``registry`` defaults to the service's own; the adaptive path
+        passes an :class:`~repro.services.registry.AdjustedRegistry`
+        view so plans are costed at breaker-observed response times —
+        the view's adjusted content epoch keys those plans separately,
+        so they never poison the unadjusted epoch's cache entries.
 
         The per-key mutex is held across the whole lookup → optimize →
         store window, so of N threads racing a cold key exactly one
@@ -457,8 +509,10 @@ class QueryService:
         schedule.  Plan *building* (spec → fresh plan objects) happens
         outside the mutex: it touches no shared mutable state.
         """
+        if registry is None:
+            registry = self.registry
         fingerprint = query_fingerprint(query)
-        epoch = self.registry.content_epoch()
+        epoch = registry.content_epoch()
         config = replace(
             self.optimizer_config or OptimizerConfig(),
             k=k,
@@ -478,7 +532,7 @@ class QueryService:
                 provenance = hit.tier
             else:
                 optimized = Optimizer(
-                    self.registry, self.metric, config
+                    registry, self.metric, config
                 ).optimize(query)
                 plan = optimized.plan
                 cost = optimized.cost
@@ -493,8 +547,143 @@ class QueryService:
                     tenant=self.tenant_id or epoch,
                 )
         if plan is None:
-            plan = spec.build(query, self.registry)
+            plan = spec.build(query, registry)
         return plan, cost, provenance, fingerprint, epoch, annotate_calls
+
+    # -- adaptivity ------------------------------------------------------
+
+    def _planning_registry(self):
+        """The registry view plans are costed against right now.
+
+        The base registry, except when the breaker holds observed
+        response-time overrides for currently *open* services — then
+        an :class:`AdjustedRegistry` view raising those services'
+        costed response times (and folding the overrides into the
+        content epoch).
+        """
+        if self.breaker is None:
+            return self.registry
+        overrides = self.breaker.response_time_overrides()
+        if not overrides:
+            return self.registry
+        return AdjustedRegistry(self.registry, overrides)
+
+    def _make_executor(self, query: ConjunctiveQuery, plan: QueryPlan, k: int):
+        """The per-submission executor: adaptive when configured."""
+        if self.adaptive is None:
+            return ProgressiveExecutor(
+                registry=self.registry,
+                plan=plan,
+                head=tuple(query.head),
+                mode=self.mode,
+                cache_setting=self.cache_setting,
+                shared_cache=self._service_cache,
+                reset_remote=False,
+                resilience=self._exec_resilience,
+                row_provenance=self.row_provenance,
+            )
+
+        def replan(observed: dict) -> QueryPlan | None:
+            # Merge breaker knowledge (cross-request) with this run's
+            # drift observations, re-resolve through the plan cache
+            # under the adjusted view; the adjusted epoch keys the
+            # spliced plan separately.
+            merged = dict(self.breaker.response_time_overrides())
+            merged.update(observed)
+            view = AdjustedRegistry(self.registry, merged)
+            new_plan, _, _, _, _, _ = self._resolve_plan(
+                query, k, registry=view
+            )
+            return new_plan
+
+        executor = AdaptiveExecutor(
+            registry=self.registry,
+            plan=plan,
+            head=tuple(query.head),
+            mode=self.mode,
+            cache_setting=self.cache_setting,
+            shared_cache=self._service_cache,
+            reset_remote=False,
+            resilience=self._exec_resilience,
+            row_provenance=self.row_provenance,
+            drift=self.adaptive.drift,
+            replan=replan,
+        )
+        self._apply_breaker_routing(executor, plan)
+        return executor
+
+    def _apply_breaker_routing(
+        self, executor: AdaptiveExecutor, plan: QueryPlan
+    ) -> None:
+        """Reroute breaker-open services onto healthy siblings up front.
+
+        A unit of an open service would otherwise burn a full retry
+        budget before sibling fallback kicks in; pre-substituting
+        serves it from the sibling from the first fetch.  Recorded on
+        the certificate exactly like a failure-driven substitution.
+        """
+        if not self.adaptive.sibling_fallback:
+            return
+        for name in self.breaker.open_services():
+            codes = sorted(
+                {
+                    node.pattern.code
+                    for node in plan.service_nodes
+                    if node.service_name == name and node.pattern is not None
+                }
+            )
+            if not codes:
+                continue
+            healthy = [
+                sibling
+                for sibling in self.registry.siblings(name, tuple(codes))
+                if self.breaker.state(sibling) is not BreakerState.OPEN
+            ]
+            if healthy:
+                executor.engine.substitute_service(name, healthy[0])
+
+    def _feed_breaker(
+        self, rounds: Sequence[ProgressiveRound], result: ExecutionResult
+    ) -> None:
+        """Fold one request's observed service health into the breaker.
+
+        Per service: total remote fetches and mean fetch latency over
+        the request's rounds (compared against the *default-pattern*
+        profiled response time — the profile the service registered
+        as its statistical norm), plus whether the service failed the
+        request — its units dropped by partial results *or* served by
+        a sibling (a substitution is a failure of the original, even
+        though the answer survived).  Services the request never
+        touched are not reported (no traffic proves nothing).
+        """
+        if self.breaker is None:
+            return
+        totals: dict[str, tuple[int, float]] = {}
+        for r in rounds:
+            if r.stats is None:
+                continue
+            for name, per_service in r.stats.per_service.items():
+                fetches, busy = totals.get(name, (0, 0.0))
+                totals[name] = (
+                    fetches + per_service.fetches,
+                    busy + per_service.busy_time,
+                )
+        unhealthy: set[str] = set()
+        certificate = result.certificate
+        if certificate is not None:
+            unhealthy = set(certificate.dropped_services) | {
+                unit.service for unit in certificate.substituted
+            }
+        with self._stats_lock:
+            for name in sorted(set(totals) | unhealthy):
+                fetches, busy = totals.get(name, (0, 0.0))
+                self.breaker.record(
+                    name,
+                    fetches=fetches,
+                    mean_latency=busy / fetches if fetches else None,
+                    expected=self.registry.profile(name).response_time,
+                    dropped=name in unhealthy,
+                )
 
     def _respond(
         self,
@@ -508,6 +697,7 @@ class QueryService:
         epoch: str,
         annotate_calls: int,
         rounds: Sequence[ProgressiveRound],
+        replans: int = 0,
     ) -> QueryResponse:
         top = result.table.top(k)
         # A request that grew through several progressive rounds did
@@ -534,6 +724,13 @@ class QueryService:
             "hedged_pulls": sum(s.hedged_pulls for s in round_stats),
             "hedged_wins": sum(s.hedged_wins for s in round_stats),
             "wasted_fetches": sum(s.wasted_fetches for s in round_stats),
+            # Adaptivity trace (0 when adaptive serving is off): plan
+            # splices this request performed, and units served by a
+            # sibling instead of being dropped.
+            "replans": replans,
+            "substituted_blocks": max(
+                (s.substituted_blocks for s in round_stats), default=0
+            ),
         }
         certificate = result.certificate
         row_provenance = (

@@ -77,6 +77,12 @@ class Session:
     created_at: float
     touched_at: float
     delivered: int = 0
+    #: The registry content epoch the session's plan was resolved
+    #: under.  Resumed responses are stamped with *this* epoch, not the
+    #: registry's current one: the continuation keeps executing the
+    #: plan (and the suspended stream) of submit time, so a mid-session
+    #: registry update must not relabel its answers as fresh.
+    epoch: str = ""
     #: Serializes resumes of this one continuation (see module doc).
     lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -127,7 +133,7 @@ class SessionManager:
 
     def create(
         self, query: ConjunctiveQuery, executor: ProgressiveExecutor,
-        delivered: int = 0,
+        delivered: int = 0, epoch: str = "",
     ) -> Session:
         """Register a new session, evicting to stay within capacity."""
         with self._lock:
@@ -145,6 +151,7 @@ class SessionManager:
                 created_at=now,
                 touched_at=now,
                 delivered=delivered,
+                epoch=epoch,
             )
             self._sessions[session.session_id] = session
             self.stats.created += 1

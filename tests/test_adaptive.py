@@ -1,0 +1,621 @@
+"""Tests for the mid-flight adaptivity layer.
+
+Covers the three adaptive mechanisms end to end:
+
+* the :class:`~repro.execution.resilience.DriftMonitor` /
+  :class:`~repro.execution.adaptive.AdaptiveExecutor` splice loop
+  (drift fires, the aborted work stays accounted, the replacement
+  inner run answers fetched pages from the shared cache);
+* sibling fallback in the static engine (an exhausted unit is served
+  by a registered equivalent before partial results may drop it);
+* the serving layer's per-service :class:`~repro.serving.breaker.
+  CircuitBreaker` (cross-request health feeding adjusted plan costs
+  and proactive rerouting).
+
+The anchor of the whole layer is the **zero-drift differential**: with
+adaptivity armed but nothing drifting, the adaptive run must be
+bit-identical — rows, ranks, and full per-round statistics — to the
+static executor over the same plan.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costs.time_cost import ExecutionTimeMetric
+from repro.execution.adaptive import AdaptiveExecutor
+from repro.execution.engine import ExecutionMode
+from repro.execution.progressive import ProgressiveExecutor
+from repro.execution.resilience import (
+    DriftMonitor,
+    DriftPolicy,
+    PlanDrift,
+    ResilienceConfig,
+)
+from repro.model.atoms import Atom
+from repro.model.query import ConjunctiveQuery
+from repro.model.schema import signature
+from repro.model.terms import Constant, Variable
+from repro.plans.builder import PlanBuilder, Poset
+from repro.serving.breaker import (
+    AdaptivePolicy,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.serving.service import QueryService
+from repro.services.profile import search_profile
+from repro.services.registry import (
+    AdjustedRegistry,
+    JoinMethod,
+    ServiceRegistry,
+)
+from repro.services.table import TableSearchService
+from repro.testing.faults import FaultSchedule, FlakyService
+
+
+# -- the test world ---------------------------------------------------------
+
+
+def _table(name, var, side, chunk):
+    return TableSearchService(
+        signature(name, ["Q", "K", var], ["ioo"]),
+        search_profile(chunk_size=chunk, response_time=1.0),
+        [("q", 0, i) for i in range(side)],
+        score=lambda row: float(-row[2]),
+    )
+
+
+def build_world(side=6, chunk=2, fetches=2, sibling=False):
+    """A two-feed merge-scan world; optionally a ``lefts`` sibling.
+
+    ``lefts_backup`` shares lefts' signature domains, profile kind,
+    data, and scores — the ideal fallback — but is a distinct
+    registered service, so every reroute onto it is observable.
+    """
+    registry = ServiceRegistry()
+    registry.register(_table("lefts", "L", side, chunk))
+    registry.register(_table("rights", "R", side, chunk))
+    if sibling:
+        registry.register(_table("lefts_backup", "L", side, chunk))
+    registry.register_join_method("lefts", "rights", JoinMethod.MERGE_SCAN)
+    key, lv, rv = Variable("K"), Variable("L"), Variable("R")
+    query = ConjunctiveQuery(
+        name="adaptive",
+        head=(key, lv, rv),
+        atoms=(
+            Atom("lefts", (Constant("q"), key, lv)),
+            Atom("rights", (Constant("q"), key, rv)),
+        ),
+        predicates=(),
+    )
+    plan = PlanBuilder(query, registry).build(
+        (
+            registry.signature("lefts").pattern("ioo"),
+            registry.signature("rights").pattern("ioo"),
+        ),
+        Poset(n=2),
+        fetches={0: fetches, 1: fetches},
+    )
+    return registry, query, plan
+
+
+def make_flaky(registry, name, **schedule_kwargs):
+    """Wrap one registered service with seeded injected faults."""
+    schedule = FaultSchedule(seed=7, **schedule_kwargs)
+    registry._services[name] = FlakyService(
+        registry._services[name], schedule
+    )
+
+
+def row_view(result):
+    """The observable answer: bindings + rank keys, in order."""
+    return [(dict(r.bindings), r.rank_key()) for r in result.rows]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# -- drift monitor ----------------------------------------------------------
+
+
+class TestDriftMonitor:
+    def _profile(self, response_time=1.0):
+        return search_profile(chunk_size=2, response_time=response_time)
+
+    def test_under_threshold_only_records(self):
+        monitor = DriftMonitor(DriftPolicy(latency_factor=3.0, min_fetches=2))
+        profile = self._profile()
+        for _ in range(10):
+            monitor.observe("svc", profile, 2.9)
+        assert monitor.observed_response_times() == {"svc": pytest.approx(2.9)}
+
+    def test_raises_once_mean_crosses_threshold(self):
+        monitor = DriftMonitor(DriftPolicy(latency_factor=3.0, min_fetches=3))
+        profile = self._profile()
+        monitor.observe("svc", profile, 25.0)
+        monitor.observe("svc", profile, 25.0)  # below min_fetches: silent
+        with pytest.raises(PlanDrift) as excinfo:
+            monitor.observe("svc", profile, 25.0)
+        drift = excinfo.value
+        assert drift.service == "svc"
+        assert drift.observed == pytest.approx(25.0)
+        assert drift.expected == pytest.approx(1.0)
+        assert drift.fetches == 3
+
+    def test_adapted_services_are_exempt(self):
+        monitor = DriftMonitor(
+            DriftPolicy(latency_factor=3.0, min_fetches=1),
+            adapted=frozenset({"svc"}),
+        )
+        monitor.observe("svc", self._profile(), 1000.0)
+        assert monitor.observed_response_times() == {}
+
+    def test_missing_or_zero_profile_is_ignored(self):
+        monitor = DriftMonitor(DriftPolicy(latency_factor=3.0, min_fetches=1))
+        monitor.observe("svc", None, 1000.0)
+        zero = dataclasses.replace(self._profile(), response_time=0.0)
+        monitor.observe("svc", zero, 1000.0)
+        assert monitor.observed_response_times() == {}
+
+
+# -- circuit breaker --------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    POLICY = BreakerPolicy(
+        failure_threshold=2, latency_factor=3.0, min_fetches=2, cooldown=10.0
+    )
+
+    def _breaker(self):
+        clock = FakeClock()
+        return CircuitBreaker(self.POLICY, clock=clock), clock
+
+    def test_starts_closed_and_ignores_no_signal(self):
+        breaker, _ = self._breaker()
+        assert breaker.state("svc") is BreakerState.CLOSED
+        breaker.record("svc")  # a plan that never touched the service
+        assert breaker.state("svc") is BreakerState.CLOSED
+        assert breaker.snapshot() == {}
+
+    def test_consecutive_dropped_requests_open(self):
+        breaker, _ = self._breaker()
+        breaker.record("svc", dropped=True)
+        assert breaker.state("svc") is BreakerState.CLOSED
+        breaker.record("svc", dropped=True)
+        assert breaker.state("svc") is BreakerState.OPEN
+        assert breaker.open_services() == ("svc",)
+
+    def test_healthy_request_resets_the_failure_count(self):
+        breaker, _ = self._breaker()
+        breaker.record("svc", dropped=True)
+        breaker.record("svc", fetches=4, mean_latency=1.0, expected=1.0)
+        breaker.record("svc", dropped=True)
+        assert breaker.state("svc") is BreakerState.CLOSED
+
+    def test_sustained_slow_latency_opens_with_override(self):
+        breaker, _ = self._breaker()
+        for _ in range(2):
+            breaker.record("svc", fetches=3, mean_latency=25.0, expected=1.0)
+        assert breaker.state("svc") is BreakerState.OPEN
+        assert breaker.response_time_overrides() == {
+            "svc": pytest.approx(25.0)
+        }
+
+    def test_too_few_fetches_make_latency_meaningless(self):
+        breaker, _ = self._breaker()
+        for _ in range(5):
+            breaker.record("svc", fetches=1, mean_latency=1000.0, expected=1.0)
+        # One slow page is a straggler, not a drift: the request even
+        # counts as healthy traffic.
+        assert breaker.state("svc") is BreakerState.CLOSED
+        assert breaker.response_time_overrides() == {}
+
+    def test_cooldown_grants_a_half_open_probe(self):
+        breaker, clock = self._breaker()
+        breaker.record("svc", dropped=True)
+        breaker.record("svc", dropped=True)
+        clock.advance(9.9)
+        assert breaker.state("svc") is BreakerState.OPEN
+        clock.advance(0.1)
+        assert breaker.state("svc") is BreakerState.HALF_OPEN
+        # Half-open lifts the cost override so the probe runs at face
+        # value, and the service no longer pre-routes to siblings.
+        assert breaker.response_time_overrides() == {}
+        assert breaker.open_services() == ()
+
+    def test_healthy_probe_closes_fully(self):
+        breaker, clock = self._breaker()
+        for _ in range(2):
+            breaker.record("svc", fetches=3, mean_latency=25.0, expected=1.0)
+        clock.advance(10.0)
+        assert breaker.state("svc") is BreakerState.HALF_OPEN
+        breaker.record("svc", fetches=3, mean_latency=1.0, expected=1.0)
+        assert breaker.state("svc") is BreakerState.CLOSED
+        assert breaker.snapshot() == {}
+
+    def test_failed_probe_reopens_and_restarts_the_cooldown(self):
+        breaker, clock = self._breaker()
+        breaker.record("svc", dropped=True)
+        breaker.record("svc", dropped=True)
+        clock.advance(10.0)
+        assert breaker.state("svc") is BreakerState.HALF_OPEN
+        breaker.record("svc", dropped=True)
+        assert breaker.state("svc") is BreakerState.OPEN
+        clock.advance(9.9)
+        assert breaker.state("svc") is BreakerState.OPEN
+        clock.advance(0.1)
+        assert breaker.state("svc") is BreakerState.HALF_OPEN
+
+    def test_snapshot_reports_every_non_closed_breaker(self):
+        breaker, _ = self._breaker()
+        breaker.record("a", dropped=True)
+        for _ in range(2):
+            breaker.record("b", fetches=3, mean_latency=25.0, expected=1.0)
+        snapshot = breaker.snapshot()
+        assert snapshot["a"]["state"] == "closed"
+        assert snapshot["a"]["consecutive_failures"] == 1
+        assert snapshot["b"]["state"] == "open"
+        assert snapshot["b"]["observed_response_time"] == pytest.approx(25.0)
+
+
+# -- siblings and the adjusted registry view --------------------------------
+
+
+class TestSiblingsAndAdjustedView:
+    def test_siblings_require_identical_shape(self):
+        registry, _, _ = build_world(sibling=True)
+        assert registry.siblings("lefts", ("ioo",)) == ("lefts_backup",)
+        assert registry.siblings("lefts_backup") == ("lefts",)
+        # rights has different signature domains: no siblings at all.
+        assert registry.siblings("rights") == ()
+
+    def test_adjusted_view_raises_but_never_lowers(self):
+        registry, _, _ = build_world()
+        view = AdjustedRegistry(registry, {"lefts": 25.0, "rights": 0.5})
+        assert view.profile("lefts").response_time == pytest.approx(25.0)
+        # A faster-than-profiled service needs no re-plan.
+        assert view.profile("rights").response_time == pytest.approx(1.0)
+
+    def test_adjusted_epoch_keys_separately_and_transparently(self):
+        registry, _, _ = build_world()
+        base = registry.content_epoch()
+        assert AdjustedRegistry(registry, {}).content_epoch() == base
+        adjusted = AdjustedRegistry(registry, {"lefts": 25.0})
+        assert adjusted.content_epoch() != base
+        # Same overrides, same epoch: the key is content-determined.
+        again = AdjustedRegistry(registry, {"lefts": 25.0})
+        assert again.content_epoch() == adjusted.content_epoch()
+
+
+# -- the zero-drift differential -------------------------------------------
+
+
+MODES = (
+    ExecutionMode.SEQUENTIAL,
+    ExecutionMode.PARALLEL,
+    ExecutionMode.STREAMED,
+)
+
+
+class TestZeroDriftDifferential:
+    """Adaptivity armed but idle must be structurally invisible."""
+
+    @staticmethod
+    def _pair(side, chunk, fetches, mode):
+        """A static and an adaptive executor over identical worlds."""
+        executors = []
+        for kind in ("static", "adaptive"):
+            registry, query, plan = build_world(
+                side=side, chunk=chunk, fetches=fetches, sibling=True
+            )
+            common = dict(
+                registry=registry,
+                plan=plan,
+                head=tuple(query.head),
+                mode=mode,
+            )
+            if kind == "static":
+                executors.append(ProgressiveExecutor(**common))
+            else:
+                executors.append(AdaptiveExecutor(**common))
+        return executors
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        side=st.integers(min_value=1, max_value=8),
+        chunk=st.integers(min_value=1, max_value=4),
+        fetches=st.integers(min_value=1, max_value=3),
+        mode=st.sampled_from(MODES),
+        k=st.integers(min_value=1, max_value=10),
+        extra=st.integers(min_value=0, max_value=6),
+    )
+    def test_adaptive_is_bit_identical_to_static(
+        self, side, chunk, fetches, mode, k, extra
+    ):
+        static, adaptive = self._pair(side, chunk, fetches, mode)
+        results = [static.run(k), adaptive.run(k)]
+        if extra:
+            results = [static.more(extra), adaptive.more(extra)]
+        assert row_view(results[1]) == row_view(results[0])
+        assert adaptive.replans == 0
+        assert adaptive.drift_events == []
+        # Full accounting, not just answers: every round's fetch
+        # vector, call counts, virtual elapsed, and per-service stats
+        # must match field for field.
+        assert len(adaptive.rounds) == len(static.rounds)
+        for ours, theirs in zip(adaptive.rounds, static.rounds):
+            assert ours.fetches == theirs.fetches
+            assert ours.answers == theirs.answers
+            assert ours.new_calls == theirs.new_calls
+            assert ours.elapsed == pytest.approx(theirs.elapsed)
+            assert ours.resumed == theirs.resumed
+            assert ours.stats == theirs.stats
+
+    def test_monitoring_really_is_armed(self):
+        """The differential must not pass because the monitor is off."""
+        _, adaptive = self._pair(side=6, chunk=2, fetches=2,
+                                 mode=ExecutionMode.PARALLEL)
+        assert adaptive.engine._drift_monitor is not None
+        adaptive.run(4)
+        observed = adaptive.engine._drift_monitor.observed_response_times()
+        assert observed  # fetches were watched...
+        assert adaptive.replans == 0  # ...and none of them drifted
+
+
+# -- sibling fallback in the static engine ---------------------------------
+
+
+RESILIENT = ResilienceConfig(partial_results=True, sibling_fallback=True)
+
+
+class TestSiblingFallback:
+    @pytest.mark.parametrize(
+        "mode", (ExecutionMode.PARALLEL, ExecutionMode.STREAMED),
+        ids=lambda m: m.value,
+    )
+    def test_failed_unit_is_served_by_the_sibling(self, mode):
+        registry, query, plan = build_world(sibling=True)
+        make_flaky(registry, "lefts", fail_rate=1.0)
+        executor = ProgressiveExecutor(
+            registry=registry, plan=plan, head=tuple(query.head),
+            mode=mode, resilience=RESILIENT,
+        )
+        result = executor.run(4)
+
+        oracle_registry, oracle_query, oracle_plan = build_world(sibling=True)
+        oracle = ProgressiveExecutor(
+            registry=oracle_registry, plan=oracle_plan,
+            head=tuple(oracle_query.head), mode=mode,
+        ).run(4)
+        assert row_view(result) == row_view(oracle)
+
+        certificate = result.certificate
+        assert certificate is not None
+        assert certificate.dropped == ()
+        assert certificate.substituted, "reroute must be on the certificate"
+        assert all(
+            unit.service == "lefts" and unit.replacement == "lefts_backup"
+            for unit in certificate.substituted
+        )
+        assert result.stats.substituted_blocks == len(certificate.substituted)
+
+    def test_without_the_flag_the_unit_drops(self):
+        registry, query, plan = build_world(sibling=True)
+        make_flaky(registry, "lefts", fail_rate=1.0)
+        executor = ProgressiveExecutor(
+            registry=registry, plan=plan, head=tuple(query.head),
+            mode=ExecutionMode.PARALLEL, max_rounds=2,
+            resilience=ResilienceConfig(partial_results=True),
+        )
+        result = executor.run(4)
+        certificate = result.certificate
+        assert certificate.substituted == ()
+        assert "lefts" in certificate.dropped_services
+
+    def test_exhausted_siblings_demote_the_original_unit(self):
+        registry, query, plan = build_world(sibling=True)
+        make_flaky(registry, "lefts", fail_rate=1.0)
+        make_flaky(registry, "lefts_backup", fail_rate=1.0)
+        executor = ProgressiveExecutor(
+            registry=registry, plan=plan, head=tuple(query.head),
+            mode=ExecutionMode.PARALLEL, max_rounds=2, resilience=RESILIENT,
+        )
+        result = executor.run(4)
+        certificate = result.certificate
+        # A unit is never reported both substituted and dropped: once
+        # every sibling is exhausted the *original* identity drops.
+        assert certificate.substituted == ()
+        assert certificate.dropped_services == ("lefts",)
+        assert result.rows == []
+
+
+# -- drift-triggered splices ------------------------------------------------
+
+
+def _adaptive(registry, query, plan, drift, replan=None):
+    return AdaptiveExecutor(
+        registry=registry, plan=plan, head=tuple(query.head),
+        mode=ExecutionMode.PARALLEL, drift=drift, replan=replan,
+    )
+
+
+class TestDriftSplice:
+    DRIFT = DriftPolicy(latency_factor=3.0, min_fetches=1)
+
+    def test_drift_splices_onto_the_sibling(self):
+        registry, query, plan = build_world(sibling=True)
+        make_flaky(registry, "lefts", delay_rate=1.0)
+        executor = _adaptive(registry, query, plan, self.DRIFT)
+        result = executor.run(4)
+
+        assert executor.replans == 1
+        (event,) = executor.drift_events
+        assert event.service == "lefts"
+        assert event.observed == pytest.approx(25.0)
+        assert event.expected == pytest.approx(1.0)
+        assert event.substituted_with == "lefts_backup"
+        assert not event.replanned  # no replan callback was given
+
+        oracle_registry, oracle_query, oracle_plan = build_world(sibling=True)
+        oracle = ProgressiveExecutor(
+            registry=oracle_registry, plan=oracle_plan,
+            head=tuple(oracle_query.head), mode=ExecutionMode.PARALLEL,
+        ).run(4)
+        assert row_view(result) == row_view(oracle)
+        # The aborted attempt is an explicit zero-answer round whose
+        # fetches stay accounted.
+        aborted = executor.rounds[0]
+        assert aborted.answers == 0
+        assert aborted.stats.total_fetches > 0
+
+    def test_splice_never_repulls_a_fetched_page(self):
+        registry, query, plan = build_world(sibling=True)
+        make_flaky(registry, "lefts", delay_rate=1.0)
+        executor = _adaptive(registry, query, plan, self.DRIFT)
+        executor.run(4)
+        assert executor.replans == 1
+
+        clean_registry, clean_query, clean_plan = build_world(sibling=True)
+        clean = ProgressiveExecutor(
+            registry=clean_registry, plan=clean_plan,
+            head=tuple(clean_query.head), mode=ExecutionMode.PARALLEL,
+        )
+        clean.run(4)
+        spliced_rights = sum(
+            r.stats.service("rights").fetches
+            for r in executor.rounds if r.stats is not None
+        )
+        clean_rights = sum(
+            r.stats.service("rights").fetches
+            for r in clean.rounds if r.stats is not None
+        )
+        # The shared logical cache re-serves every page the aborted
+        # attempt pulled: the untouched feed's remote traffic never
+        # exceeds a drift-free run's.
+        assert spliced_rights <= clean_rights
+
+    def test_drift_without_sibling_recosts_and_settles(self):
+        registry, query, plan = build_world(sibling=False)
+        make_flaky(registry, "lefts", delay_rate=1.0)
+        seen = []
+
+        def replan(overrides):
+            seen.append(dict(overrides))
+            return None  # keep the plan: only re-cost knowledge changes
+
+        policy = DriftPolicy(
+            latency_factor=3.0, min_fetches=1, substitute_siblings=False
+        )
+        executor = _adaptive(registry, query, plan, policy, replan=replan)
+        result = executor.run(4)
+        assert seen == [{"lefts": pytest.approx(25.0)}]
+        (event,) = executor.drift_events
+        assert event.substituted_with is None
+        assert not event.replanned
+        # The spliced monitor exempts the adapted service: the same
+        # slow lefts never re-trips, even across a continuation.
+        executor.more(2)
+        assert executor.replans == 1
+        assert len(result.rows) >= 4
+
+    def test_max_replans_zero_disables_monitoring(self):
+        registry, query, plan = build_world(sibling=True)
+        make_flaky(registry, "lefts", delay_rate=1.0)
+        policy = DriftPolicy(latency_factor=3.0, min_fetches=1, max_replans=0)
+        executor = _adaptive(registry, query, plan, policy)
+        result = executor.run(4)
+        assert executor.replans == 0
+        assert executor.engine._drift_monitor is None
+        assert len(result.rows) >= 4
+
+
+# -- the serving layer's breaker -------------------------------------------
+
+
+def _serve(registry, policy, clock):
+    return QueryService(
+        registry=registry,
+        metric=ExecutionTimeMetric(),
+        k_default=4,
+        adaptive=policy,
+        breaker=CircuitBreaker(policy.breaker, clock=clock),
+    )
+
+
+class TestServingBreaker:
+    def test_substitution_failures_open_the_breaker(self):
+        registry, query, _ = build_world(sibling=True)
+        make_flaky(registry, "lefts", fail_rate=1.0)
+        clock = FakeClock()
+        policy = AdaptivePolicy(
+            breaker=BreakerPolicy(failure_threshold=1, cooldown=10.0)
+        )
+        service = _serve(registry, policy, clock)
+
+        first = service.submit(query, k=4)
+        assert first.partial is not None
+        assert first.partial["substituted"], (
+            "sibling fallback must be visible on the response"
+        )
+        # A substitution is a failure of the original service, even
+        # though the answer survived: the breaker learns it.
+        assert service.breaker.state("lefts") is BreakerState.OPEN
+        assert service.snapshot()["breaker"]["lefts"]["state"] == "open"
+
+        second = service.submit(query, k=4)
+        assert second.rows == first.rows
+        assert second.stats["substituted_blocks"] >= 1
+
+    def test_latency_breaker_adjusts_costs_then_recovers(self):
+        registry, query, _ = build_world(sibling=False)
+        clean_lefts = registry._services["lefts"]
+        make_flaky(registry, "lefts", delay_rate=1.0)
+        clock = FakeClock()
+        policy = AdaptivePolicy(
+            drift=DriftPolicy(
+                latency_factor=3.0, min_fetches=1, substitute_siblings=False
+            ),
+            breaker=BreakerPolicy(
+                failure_threshold=1, latency_factor=3.0,
+                min_fetches=1, cooldown=10.0,
+            ),
+        )
+        service = _serve(registry, policy, clock)
+
+        first = service.submit(query, k=4)
+        # The request itself already re-planned mid-run...
+        assert first.stats["replans"] >= 1
+        # ...and its observed latency opened the breaker afterwards.
+        assert service.breaker.state("lefts") is BreakerState.OPEN
+        assert service.breaker.response_time_overrides() == {
+            "lefts": pytest.approx(25.0)
+        }
+
+        # While open, planning runs under the adjusted registry view:
+        # the response's epoch proves which profile costed the plan.
+        second = service.submit(query, k=4)
+        assert second.epoch != first.epoch
+        assert second.rows == first.rows
+
+        # Past the cooldown the breaker half-opens: overrides lift so
+        # the probe runs the service at face value, and a healed
+        # service closes the breaker for good.
+        clock.advance(10.0)
+        assert service.breaker.state("lefts") is BreakerState.HALF_OPEN
+        registry._services["lefts"] = clean_lefts
+        third = service.submit(query, k=4)
+        assert third.epoch == first.epoch
+        assert third.rows == first.rows
+        assert service.breaker.state("lefts") is BreakerState.CLOSED
+        assert service.snapshot()["breaker"] == {}

@@ -308,6 +308,52 @@ class TestLazyStreamedResume:
         assert len(result.rows) == 36
 
 
+class TestAccountingRegressions:
+    """Resumed-round accounting: the bug-batch regressions."""
+
+    def test_resumed_round_reports_lazy_calls_saved_as_a_delta(self):
+        """Regression: a resumed round copied the stream's *cumulative*
+        ``lazy_pages_saved`` into its own ``lazy_calls_saved``, double
+        counting every earlier round's savings.  Fixed, the resumed
+        round reports the delta its own pulls caused (negative when it
+        fetched pages an earlier round counted as saved), and the
+        per-round values sum to the stream's true current total."""
+        _, _, _, executor = TestLazyStreamedResume._single_feed_executor(
+            CacheSetting.OPTIMAL, side=20, chunk=2, fetches=10
+        )
+        first = executor.run(k=1)
+        assert first.stats.lazy_calls_saved > 0
+        more = executor.more(7)  # outgrows page 0: pulls budgeted pages
+        latest = executor.rounds[-1]
+        assert latest.resumed
+        assert more.stats.total_fetches > 0
+        assert more.stats.lazy_calls_saved < 0
+        assert more.stream is not None
+        assert (
+            sum(r.stats.lazy_calls_saved for r in executor.rounds)
+            == more.stream.lazy_pages_saved
+        )
+
+    def test_resume_served_round_seeds_the_exhaustion_baseline(self):
+        """Regression: when the first round of a ``run`` was served by
+        a stream resume, ``baseline_processed`` stayed None, so the
+        first growth round could never trigger the exhaustion break
+        and every continuation past the data burned one extra
+        re-execution."""
+        _, _, _, executor = TestLazyStreamedResume._single_feed_executor(
+            CacheSetting.OPTIMAL, side=4, chunk=2, fetches=2
+        )
+        executor.run(k=2)
+        assert executor._executed_rounds() == 1
+        result = executor.run(k=100)  # far beyond the 16-answer plane
+        assert executor.rounds[1].resumed  # served by resume first
+        assert len(result.rows) == 16
+        # Exactly one growth re-execution: the resumed round seeded the
+        # baseline, so the first growth round (which demands the same
+        # tuples and finds no new answers) detects exhaustion itself.
+        assert executor._executed_rounds() == 2
+
+
 class TestCaps:
     def test_decay_caps_stop_growth(self, tiny_query):
         from repro.model.schema import signature

@@ -334,6 +334,30 @@ class TestRetryingPageSource:
             LazyServiceCursor(source).ensure(1)
         assert excinfo.value.unit == ("lefts", ("ioo", ((0, "q"),)))
 
+    def test_swap_stats_rebinds_the_retry_accounting(self):
+        """Regression: ``swap_stats`` rebound only the wrapped source's
+        stats, so retries/wasted fetches of a resumed round were
+        charged to the *previous* round's statistics object."""
+        first = ExecutionStats()
+        source = RetryingPageSource(
+            _FlakyPageSource(ListPageSource(self._pages()), fail_times=1),
+            ResilienceConfig(retry=RetryPolicy(attempts=3)),
+            first,
+            service="lefts",
+        )
+        cursor = LazyServiceCursor(source)
+        cursor.ensure(2)  # page 0: its one failure lands on `first`
+        assert first.retries == 1
+        assert first.wasted_fetches == 1
+        resumed = ExecutionStats()
+        source.swap_stats(resumed)
+        cursor.ensure(4)  # page 1: its failure must land on `resumed`
+        assert resumed.retries == 1
+        assert resumed.wasted_fetches == 1
+        # The round that created the source keeps its frozen counters.
+        assert first.retries == 1
+        assert first.wasted_fetches == 1
+
 
 class TestPromotedFaultKit:
     def test_injected_fault_is_transient(self):

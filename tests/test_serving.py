@@ -493,6 +493,24 @@ class TestQueryService:
         assert bumped.provenance == "optimized"
         assert service.stats.optimizer_runs == 2
 
+    def test_resumed_response_reports_the_submit_time_epoch(self):
+        """Regression: ``ask_for_more`` stamped resumed responses with
+        the registry's *current* content epoch — but the continuation
+        keeps executing the plan resolved at submit time, so a
+        mid-session registry update must not relabel its answers as
+        computed under the new epoch."""
+        registry = weekend_registry()
+        service = QueryService(registry=registry, k_default=2)
+        first = service.submit(mahler_weekend_query())
+        assert first.epoch == registry.content_epoch()
+        # Mid-session profile drift bumps the epoch...
+        registry.register_join_selectivity("lowcost", "concerts", 0.5)
+        assert registry.content_epoch() != first.epoch
+        # ...but the continuation still reports the pinned one.
+        more = service.ask_for_more(first.session_id, 2)
+        assert more.provenance == "session"
+        assert more.epoch == first.epoch
+
     def test_disk_tier_spans_service_instances(self, tmp_path):
         path = tmp_path / "plans.json"
         query = mahler_weekend_query()
